@@ -1,0 +1,158 @@
+// Command tvasim regenerates the paper's simulation figures (§5):
+//
+//	tvasim -fig 8   # legacy packet floods          (Fig. 8)
+//	tvasim -fig 9   # request packet floods         (Fig. 9)
+//	tvasim -fig 10  # authorized floods (colluder)  (Fig. 10)
+//	tvasim -fig 11  # imprecise authorization       (Fig. 11)
+//	tvasim -fig all
+//
+// Output is whitespace-separated columns, one series per scheme, in
+// the same shape as the paper's plots: completion fraction and average
+// transfer time versus attacker count (Figs. 8–10), or per-transfer
+// times versus start time (Fig. 11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tva/internal/exp"
+	"tva/internal/tvatime"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11 or all")
+	schemesFlag := flag.String("schemes", "internet,siff,pushback,tva", "comma-separated schemes")
+	attackersFlag := flag.String("attackers", "1,2,5,10,20,40,70,100", "attacker counts for figs 8-10")
+	durationSec := flag.Float64("duration", 120, "simulated seconds per run")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	schemes, err := parseSchemes(*schemesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	counts, err := parseInts(*attackersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dur := tvatime.FromSeconds(*durationSec).Sub(0)
+
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = []string{"8", "9", "10", "11"}
+	}
+	for _, f := range figs {
+		switch f {
+		case "8":
+			sweepFigure("Figure 8: legacy traffic flood", exp.AttackLegacyFlood, schemes, counts, dur, *seed)
+		case "9":
+			sweepFigure("Figure 9: request packet flood", exp.AttackRequestFlood, schemes, counts, dur, *seed)
+		case "10":
+			sweepFigure("Figure 10: authorized traffic flood (colluder)", exp.AttackAuthorizedFlood, schemes, counts, dur, *seed)
+		case "11":
+			figure11(schemes, dur, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
+			os.Exit(2)
+		}
+	}
+}
+
+func parseSchemes(s string) ([]exp.Scheme, error) {
+	var out []exp.Scheme
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "internet":
+			out = append(out, exp.SchemeInternet)
+		case "tva":
+			out = append(out, exp.SchemeTVA)
+		case "siff":
+			out = append(out, exp.SchemeSIFF)
+		case "pushback":
+			out = append(out, exp.SchemePushback)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown scheme %q", name)
+		}
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad attacker count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func sweepFigure(title string, attack exp.Attack, schemes []exp.Scheme, counts []int, dur tvatime.Duration, seed int64) {
+	fmt.Printf("# %s\n", title)
+	fmt.Printf("%-10s %10s %12s %14s\n", "scheme", "attackers", "completion", "xfer-time(s)")
+	for _, scheme := range schemes {
+		for _, k := range counts {
+			res := exp.Run(exp.Config{
+				Scheme:       scheme,
+				Attack:       attack,
+				NumAttackers: k,
+				Duration:     dur,
+				Seed:         seed,
+			})
+			fmt.Printf("%-10s %10d %12.3f %14.3f\n",
+				scheme, k, res.CompletionFraction(), res.AvgTransferTime())
+		}
+		fmt.Println()
+	}
+}
+
+// figure11 prints per-2s-bucket maxima of transfer time for the
+// high-intensity (all at once) and low-intensity (10 at a time)
+// imprecise-authorization attacks, for TVA and SIFF (the schemes in
+// the paper's Fig. 11).
+func figure11(schemes []exp.Scheme, dur tvatime.Duration, seed int64) {
+	fmt.Println("# Figure 11: imprecise authorization (100 attackers granted 32KB/10s once; attack at t=10s)")
+	for _, scheme := range schemes {
+		if scheme != exp.SchemeTVA && scheme != exp.SchemeSIFF {
+			continue
+		}
+		for _, groups := range []int{1, 10} {
+			label := "all-at-once"
+			if groups > 1 {
+				label = "10-at-a-time"
+			}
+			res := exp.Run(exp.Config{
+				Scheme:       scheme,
+				Attack:       exp.AttackImpreciseAuth,
+				NumAttackers: 100,
+				AttackGroups: groups,
+				AttackStart:  10 * tvatime.Second,
+				Duration:     dur,
+				Seed:         seed,
+			})
+			fmt.Printf("%-6s %-13s completion=%.3f avg=%.3fs\n",
+				scheme, label, res.CompletionFraction(), res.AvgTransferTime())
+			starts, durs := res.Series()
+			fmt.Printf("  %8s %12s\n", "t(s)", "max-xfer(s)")
+			for lo := 0.0; lo < dur.Seconds(); lo += 2 {
+				maxDur := 0.0
+				for i, st := range starts {
+					if st >= lo && st < lo+2 && durs[i] > maxDur {
+						maxDur = durs[i]
+					}
+				}
+				fmt.Printf("  %8.0f %12.2f\n", lo, maxDur)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Flood defense: the paper's headline result (Fig. 8) in one run.
+//
+// Ten users repeatedly fetch a 20 KB file across a 10 Mb/s bottleneck
+// while 100 attackers flood ten times the bottleneck's capacity at the
+// same destination. Under today's Internet the transfers starve; under
+// TVA the flood is unauthorized traffic that never competes with the
+// users' capability-carrying packets.
+//
+//	go run ./examples/flooddefense
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"tva"
+)
+
+func main() {
+	const attackers = 100
+	fmt.Printf("10 users vs %d attackers flooding 10x the bottleneck (30 simulated seconds per run)\n\n", attackers)
+	fmt.Printf("%-10s %12s %14s %12s\n", "scheme", "completed", "completion", "xfer-time(s)")
+
+	for _, scheme := range []tva.Scheme{tva.SchemeInternet, tva.SchemeSIFF, tva.SchemePushback, tva.SchemeTVA} {
+		res := tva.RunSim(tva.SimConfig{
+			Scheme:       scheme,
+			Attack:       tva.AttackLegacyFlood,
+			NumAttackers: attackers,
+			Duration:     30 * time.Second,
+			Seed:         1,
+		})
+		done := 0
+		for _, t := range res.Transfers {
+			if t.Completed {
+				done++
+			}
+		}
+		fmt.Printf("%-10v %12d %14.3f %12.3f\n",
+			scheme, done, res.CompletionFraction(), res.AvgTransferTime())
+	}
+
+	fmt.Println("\nTVA holds its no-attack baseline (~0.32s per transfer) because the")
+	fmt.Println("legacy flood is confined to the lowest-priority queue (paper §5.1).")
+}

@@ -1,0 +1,3 @@
+module tva
+
+go 1.22

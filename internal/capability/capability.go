@@ -1,0 +1,216 @@
+// Package capability implements TVA's unforgeable, fine-grained
+// capabilities (paper §3.4–§3.5, Fig. 3).
+//
+// A pre-capability is minted by each router on the path of a request:
+//
+//	pre = timestamp(8 bits) || MAC56_secret(src, dst, timestamp)
+//
+// The destination converts each pre-capability into a capability bound
+// to its chosen authorization of N bytes over T seconds:
+//
+//	cap = timestamp(8 bits) || H56(pre, N, T)
+//
+// where H56 is a public hash, so the destination needs no router
+// secrets. A router validates a capability by recomputing both hashes.
+//
+// Router secrets rotate every SecretPeriod (128 s by default, half the
+// modulo-256-second timestamp rollover); the high-order bit of the
+// timestamp selects the current or previous secret, so a router tries
+// exactly one secret per validation.
+package capability
+
+import (
+	"sync"
+
+	"tva/internal/mac"
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+// DefaultSecretPeriod is the paper's router secret lifetime: secrets
+// change at twice the rate of the 256 s timestamp rollover (§3.4, §5.4
+// "TVA expires router secret every 128 seconds").
+const DefaultSecretPeriod = 128 * tvatime.Second
+
+// tsRollover is the modulo of the 8-bit router timestamp, in seconds.
+const tsRollover = 256
+
+// CapHash is the public second hash deriving a capability from a
+// pre-capability and the destination's N (bytes, KB units widened to
+// uint32) and T (seconds).
+type CapHash func(pre uint64, nkb uint32, tsec uint8) uint64
+
+// Suite bundles the two hash functions so routers and destinations
+// agree. Crypto is the paper's construction; Fast trades strength for
+// simulation speed (see DESIGN.md §5).
+type Suite struct {
+	Name     string
+	NewKeyed mac.KeyedFactory
+	CapHash  CapHash
+}
+
+// Crypto is the paper's AES-CBC-MAC + SHA-1 construction.
+var Crypto = Suite{Name: "aes+sha1", NewKeyed: mac.NewAES, CapHash: mac.SHA56}
+
+// Fast is a keyed-FNV construction for large simulations.
+var Fast = Suite{Name: "fnv", NewKeyed: mac.NewFNV, CapHash: mac.FastSHA56}
+
+// Timestamp extracts the 8-bit router timestamp from a pre-capability
+// or capability value.
+func Timestamp(v uint64) uint8 { return uint8(v >> 56) }
+
+// hashOf extracts the 56-bit hash part.
+func hashOf(v uint64) uint64 { return v & mac.Mask56 }
+
+// compose packs a timestamp and 56-bit hash into one 64-bit value.
+func compose(ts uint8, h uint64) uint64 { return uint64(ts)<<56 | (h & mac.Mask56) }
+
+// MakeCap converts a pre-capability into a capability for the grant
+// (N, T) using the suite's public hash. Destinations call this; no
+// router secret is involved (§3.5).
+func (s Suite) MakeCap(pre uint64, nkb uint16, tsec uint8) uint64 {
+	return compose(Timestamp(pre), s.CapHash(pre, uint32(nkb), tsec))
+}
+
+// Age returns the age in seconds of a timestamp under the modulo-256
+// clock, and whether the comparison is unambiguous (age within half the
+// rollover). now is absolute seconds.
+func Age(ts uint8, nowSec int64) (age int64, ok bool) {
+	age = (nowSec - int64(ts)) % tsRollover
+	if age < 0 {
+		age += tsRollover
+	}
+	return age, age <= tsRollover/2
+}
+
+// Authority mints and validates capabilities for one router. It owns
+// the router's rotating secrets. Authority is safe for concurrent use.
+type Authority struct {
+	suite  Suite
+	period tvatime.Duration
+
+	mu sync.Mutex
+	// keyed[i] is the MAC for secret epochs with parity i. An epoch is
+	// period-long; validation uses the mint epoch's parity, so only
+	// the current and previous secrets ever validate (§3.4).
+	keyed [2]mac.Keyed
+	epoch int64
+}
+
+// NewAuthority returns an Authority using the given suite and secret
+// period. A zero period selects DefaultSecretPeriod.
+func NewAuthority(suite Suite, period tvatime.Duration) *Authority {
+	if period <= 0 {
+		period = DefaultSecretPeriod
+	}
+	a := &Authority{suite: suite, period: period, epoch: -1}
+	a.rotateTo(0)
+	return a
+}
+
+// Suite returns the authority's hash suite.
+func (a *Authority) Suite() Suite { return a.suite }
+
+// rotateTo installs fresh secrets up to epoch e. Caller must not hold mu.
+func (a *Authority) rotateTo(e int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e <= a.epoch {
+		return
+	}
+	if e-a.epoch >= 2 {
+		// Both slots are stale; regenerate both.
+		a.keyed[e&1] = a.suite.NewKeyed(mac.NewSecret())
+		a.keyed[(e-1)&1] = a.suite.NewKeyed(mac.NewSecret())
+	} else {
+		a.keyed[e&1] = a.suite.NewKeyed(mac.NewSecret())
+	}
+	a.epoch = e
+}
+
+// keyedFor returns the MAC to use for a value minted at the given
+// timestamp, observed at now, or nil if the mint epoch's secret has
+// already been retired.
+func (a *Authority) keyedFor(ts uint8, now tvatime.Time) mac.Keyed {
+	nowSec := now.Seconds()
+	curEpoch := int64(now) / int64(a.period)
+	if curEpoch > a.epoch {
+		a.rotateTo(curEpoch)
+	}
+	age, ok := Age(ts, nowSec)
+	if !ok {
+		return nil
+	}
+	mintEpoch := (int64(now) - age*int64(tvatime.Second)) / int64(a.period)
+	if mintEpoch < 0 {
+		mintEpoch = 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if mintEpoch < a.epoch-1 || mintEpoch > a.epoch {
+		return nil // secret retired (or impossible future epoch)
+	}
+	return a.keyed[mintEpoch&1]
+}
+
+// PreCap mints a pre-capability for the (src, dst) pair at time now
+// (§3.4: hash of timestamp, addresses and the router secret).
+func (a *Authority) PreCap(src, dst packet.Addr, now tvatime.Time) uint64 {
+	curEpoch := int64(now) / int64(a.period)
+	if curEpoch > a.epoch {
+		a.rotateTo(curEpoch)
+	}
+	ts := uint8(now.Seconds() % tsRollover)
+	a.mu.Lock()
+	k := a.keyed[curEpoch&1]
+	a.mu.Unlock()
+	return compose(ts, k.MAC56(uint64(src), uint64(dst), uint64(ts)))
+}
+
+// ValidateCap checks a full capability for (src, dst) with the claimed
+// grant parameters (N in KB, T in seconds): it recomputes the
+// pre-capability under the mint-epoch secret, recomputes the public
+// hash, and checks the expiry time (§3.5: local time must not exceed
+// timestamp + T). The byte-count check lives in the flow cache.
+func (a *Authority) ValidateCap(src, dst packet.Addr, cap uint64, nkb uint16, tsec uint8, now tvatime.Time) bool {
+	ts := Timestamp(cap)
+	age, ok := Age(ts, now.Seconds())
+	if !ok || age > int64(tsec) {
+		return false // expired (or ambiguous, which implies long expired)
+	}
+	k := a.keyedFor(ts, now)
+	if k == nil {
+		return false
+	}
+	pre := compose(ts, k.MAC56(uint64(src), uint64(dst), uint64(ts)))
+	return hashOf(a.suite.CapHash(pre, uint32(nkb), tsec)) == hashOf(cap)
+}
+
+// ValidatePre checks that a pre-capability was minted by this authority
+// for (src, dst) and has not outlived the secret rotation. Routers do
+// not need this on the forwarding path (they re-mint rather than
+// verify), but destinations of diagnostic tools and tests use it.
+func (a *Authority) ValidatePre(src, dst packet.Addr, pre uint64, now tvatime.Time) bool {
+	ts := Timestamp(pre)
+	k := a.keyedFor(ts, now)
+	if k == nil {
+		return false
+	}
+	return hashOf(pre) == k.MAC56(uint64(src), uint64(dst), uint64(ts))
+}
+
+// Expiry returns the first instant at which a capability with the
+// given timestamp and period T stops validating (ValidateCap compares
+// whole seconds, so a capability minted in second s is good through
+// the end of second s+T). Callers must treat the returned time as
+// exclusive: the capability is valid strictly before it.
+func Expiry(cap uint64, tsec uint8, now tvatime.Time) tvatime.Time {
+	age, _ := Age(Timestamp(cap), now.Seconds())
+	remaining := int64(tsec) - age
+	if remaining < 0 {
+		remaining = 0
+	}
+	// Truncate to the second boundary the router's modulo clock uses.
+	nowWhole := tvatime.Time(now.Seconds() * int64(tvatime.Second))
+	return nowWhole.Add(tvatime.Duration(remaining+1) * tvatime.Second)
+}

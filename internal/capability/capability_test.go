@@ -1,0 +1,234 @@
+package capability
+
+import (
+	"math/rand"
+	"testing"
+
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+var suites = map[string]Suite{"crypto": Crypto, "fast": Fast}
+
+func at(sec float64) tvatime.Time { return tvatime.FromSeconds(sec) }
+
+func TestMintValidateRoundtrip(t *testing.T) {
+	for name, suite := range suites {
+		t.Run(name, func(t *testing.T) {
+			a := NewAuthority(suite, 0)
+			src, dst := packet.Addr(100), packet.Addr(200)
+			now := at(5)
+			pre := a.PreCap(src, dst, now)
+			cap := suite.MakeCap(pre, 32, 10)
+			if !a.ValidateCap(src, dst, cap, 32, 10, now) {
+				t.Fatal("freshly minted capability failed validation")
+			}
+			if !a.ValidateCap(src, dst, cap, 32, 10, now.Add(9*tvatime.Second)) {
+				t.Error("capability invalid before T elapsed")
+			}
+		})
+	}
+}
+
+func TestValidateRejectsWrongBinding(t *testing.T) {
+	a := NewAuthority(Fast, 0)
+	src, dst := packet.Addr(1), packet.Addr(2)
+	now := at(3)
+	pre := a.PreCap(src, dst, now)
+	cap := Fast.MakeCap(pre, 32, 10)
+
+	cases := []struct {
+		name     string
+		src, dst packet.Addr
+		cap      uint64
+		nkb      uint16
+		tsec     uint8
+	}{
+		{"wrong src", 9, dst, cap, 32, 10},
+		{"wrong dst", src, 9, cap, 32, 10},
+		{"wrong N", src, dst, cap, 33, 10},
+		{"wrong T", src, dst, cap, 32, 11},
+		{"tampered hash", src, dst, cap ^ 1, 32, 10},
+	}
+	for _, c := range cases {
+		if a.ValidateCap(c.src, c.dst, c.cap, c.nkb, c.tsec, now) {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+func TestValidateRejectsOtherRouter(t *testing.T) {
+	// A capability minted by one router must not validate at another
+	// (distinct secrets): unforgeability across routers.
+	a1 := NewAuthority(Fast, 0)
+	a2 := NewAuthority(Fast, 0)
+	now := at(1)
+	pre := a1.PreCap(1, 2, now)
+	cap := Fast.MakeCap(pre, 32, 10)
+	if a2.ValidateCap(1, 2, cap, 32, 10, now) {
+		t.Error("capability from router 1 validated at router 2")
+	}
+}
+
+func TestExpiryByT(t *testing.T) {
+	a := NewAuthority(Fast, 0)
+	now := at(10)
+	pre := a.PreCap(1, 2, now)
+	cap := Fast.MakeCap(pre, 32, 5)
+	if !a.ValidateCap(1, 2, cap, 32, 5, now.Add(4*tvatime.Second)) {
+		t.Error("capability should be valid at age 4s with T=5")
+	}
+	if a.ValidateCap(1, 2, cap, 32, 5, now.Add(6*tvatime.Second)) {
+		t.Error("capability valid past its T")
+	}
+}
+
+func TestSecretRotation(t *testing.T) {
+	// A capability spanning one secret rotation must validate under
+	// the previous secret; after two rotations it must not, even for
+	// a generous T.
+	period := 16 * tvatime.Second
+	a := NewAuthority(Fast, period)
+	now := at(15) // one second before the first rotation
+	pre := a.PreCap(1, 2, now)
+	cap := Fast.MakeCap(pre, 32, 60)
+	if !a.ValidateCap(1, 2, cap, 32, 60, at(17)) {
+		t.Error("capability minted before rotation should validate after it (previous secret)")
+	}
+	if a.ValidateCap(1, 2, cap, 32, 60, at(33)) {
+		t.Error("capability validated after two rotations (secret retired)")
+	}
+}
+
+func TestValidateAcrossEpochBoundaryMintEarly(t *testing.T) {
+	// Mint early in an epoch and validate later in the same epoch, and
+	// just after the boundary.
+	period := 128 * tvatime.Second
+	a := NewAuthority(Fast, period)
+	now := at(2)
+	pre := a.PreCap(1, 2, now)
+	cap := Fast.MakeCap(pre, 32, 63)
+	if !a.ValidateCap(1, 2, cap, 32, 63, at(60)) {
+		t.Error("same-epoch validation failed")
+	}
+}
+
+func TestAge(t *testing.T) {
+	age, ok := Age(10, 15)
+	if age != 5 || !ok {
+		t.Errorf("Age(10,15) = %d,%v want 5,true", age, ok)
+	}
+	// Wraparound: ts=250, now=260 (now mod 256 = 4).
+	age, ok = Age(250, 260)
+	if age != 10 || !ok {
+		t.Errorf("Age(250,260) = %d,%v want 10,true", age, ok)
+	}
+	// Ambiguous: more than half the rollover old.
+	if _, ok = Age(0, 200); ok {
+		t.Error("age beyond half rollover should be ambiguous")
+	}
+}
+
+func TestValidatePre(t *testing.T) {
+	a := NewAuthority(Fast, 0)
+	now := at(1)
+	pre := a.PreCap(7, 8, now)
+	if !a.ValidatePre(7, 8, pre, now) {
+		t.Error("own pre-capability failed validation")
+	}
+	if a.ValidatePre(7, 9, pre, now) {
+		t.Error("pre-capability validated for wrong destination")
+	}
+	if a.ValidatePre(7, 8, pre^2, now) {
+		t.Error("tampered pre-capability validated")
+	}
+}
+
+func TestExpiryHelper(t *testing.T) {
+	a := NewAuthority(Fast, 0)
+	now := at(100)
+	pre := a.PreCap(1, 2, now)
+	cap := Fast.MakeCap(pre, 32, 10)
+	exp := Expiry(cap, 10, now)
+	if exp.Seconds() < 109 || exp.Seconds() > 111 {
+		t.Errorf("Expiry = %v, want ~110s", exp.Seconds())
+	}
+}
+
+func TestTimestampExtraction(t *testing.T) {
+	a := NewAuthority(Fast, 0)
+	now := at(42)
+	pre := a.PreCap(1, 2, now)
+	if Timestamp(pre) != 42 {
+		t.Errorf("Timestamp = %d, want 42", Timestamp(pre))
+	}
+}
+
+// TestPropertyRoundtripRandom exercises random bindings and grant
+// parameters: mint→make→validate always succeeds at mint time, and a
+// forged hash never does.
+func TestPropertyRoundtripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewAuthority(Fast, 0)
+	for i := 0; i < 500; i++ {
+		src := packet.Addr(rng.Uint32())
+		dst := packet.Addr(rng.Uint32())
+		nkb := uint16(rng.Intn(packet.MaxNKB + 1))
+		tsec := uint8(1 + rng.Intn(packet.MaxTSeconds))
+		now := at(float64(rng.Intn(1000)) / 10)
+		pre := a.PreCap(src, dst, now)
+		cap := Fast.MakeCap(pre, nkb, tsec)
+		if !a.ValidateCap(src, dst, cap, nkb, tsec, now) {
+			t.Fatalf("iter %d: roundtrip failed", i)
+		}
+		forged := cap ^ (1 << uint(rng.Intn(56)))
+		if a.ValidateCap(src, dst, forged, nkb, tsec, now) {
+			t.Fatalf("iter %d: forged capability validated", i)
+		}
+	}
+}
+
+// TestForgeryWithoutSecret checks an attacker computing caps from
+// guessed pre-capabilities fails: the keyed hash binds the secret.
+func TestForgeryWithoutSecret(t *testing.T) {
+	a := NewAuthority(Crypto, 0)
+	now := at(1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		guessPre := rng.Uint64()
+		cap := Crypto.MakeCap(guessPre, 32, 10)
+		if a.ValidateCap(1, 2, cap, 32, 10, now) {
+			t.Fatal("capability built from a guessed pre-capability validated")
+		}
+	}
+}
+
+func BenchmarkPreCap(b *testing.B) {
+	for name, suite := range suites {
+		b.Run(name, func(b *testing.B) {
+			a := NewAuthority(suite, 0)
+			now := at(1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.PreCap(packet.Addr(i), 2, now)
+			}
+		})
+	}
+}
+
+func BenchmarkValidateCap(b *testing.B) {
+	for name, suite := range suites {
+		b.Run(name, func(b *testing.B) {
+			a := NewAuthority(suite, 0)
+			now := at(1)
+			pre := a.PreCap(1, 2, now)
+			cap := suite.MakeCap(pre, 32, 10)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !a.ValidateCap(1, 2, cap, 32, 10, now) {
+					b.Fatal("validation failed")
+				}
+			}
+		})
+	}
+}

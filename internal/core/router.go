@@ -1,0 +1,203 @@
+// Package core implements the TVA protocol engine of paper §4: the
+// router capability-processing path (Fig. 6) and the host shim that
+// bootstraps, uses, renews and repairs capabilities. Both are
+// transport-agnostic: the discrete-event simulator and the userspace
+// UDP overlay drive the same code.
+package core
+
+import (
+	"tva/internal/capability"
+	"tva/internal/flowcache"
+	"tva/internal/packet"
+	"tva/internal/pathid"
+	"tva/internal/tvatime"
+)
+
+// RouterConfig parameterizes a TVA capability router.
+type RouterConfig struct {
+	// Suite selects the hash construction (capability.Crypto or Fast).
+	Suite capability.Suite
+	// SecretPeriod is the router-secret rotation period (default 128s).
+	SecretPeriod tvatime.Duration
+	// CacheEntries bounds flow state (size with flowcache.Bound).
+	CacheEntries int
+	// TrustBoundary marks the router as a trust-boundary ingress that
+	// stamps path identifiers on requests (§3.2).
+	TrustBoundary bool
+	// Tagger supplies per-interface path identifier tags; required
+	// when TrustBoundary is set.
+	Tagger *pathid.Tagger
+	// MinNKB/MinTSec express the architectural minimum sending rate
+	// (N/T)min used to reject authorizations too small to bound state
+	// (§3.6). Zero values disable the check.
+	MinNKB  uint16
+	MinTSec uint8
+}
+
+// RouterStats counts router processing outcomes.
+type RouterStats struct {
+	Requests    uint64
+	RegularHit  uint64 // regular packets matching a cache entry nonce
+	RegularMiss uint64 // regular packets validated without an entry
+	Renewals    uint64
+	Replaced    uint64 // renewed capabilities installed over an entry
+	Demoted     uint64
+	Legacy      uint64
+}
+
+// Router is one TVA capability router's processing state. It is not
+// safe for concurrent use; wrap calls in the owner's event loop.
+type Router struct {
+	cfg   RouterConfig
+	auth  *capability.Authority
+	cache *flowcache.Cache
+
+	Stats RouterStats
+}
+
+// NewRouter builds a router from cfg.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.Suite.NewKeyed == nil {
+		cfg.Suite = capability.Crypto
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 1 << 16
+	}
+	if cfg.TrustBoundary && cfg.Tagger == nil {
+		cfg.Tagger = pathid.New()
+	}
+	return &Router{
+		cfg:   cfg,
+		auth:  capability.NewAuthority(cfg.Suite, cfg.SecretPeriod),
+		cache: NewAuthorityCache(cfg.CacheEntries),
+	}
+}
+
+// NewAuthorityCache builds the bounded flow cache (split out so tests
+// can size it precisely).
+func NewAuthorityCache(entries int) *flowcache.Cache { return flowcache.New(entries) }
+
+// Authority exposes the router's capability authority (for tests and
+// the overlay's diagnostics).
+func (r *Router) Authority() *capability.Authority { return r.auth }
+
+// Cache exposes the router's flow cache.
+func (r *Router) Cache() *flowcache.Cache { return r.cache }
+
+// Process runs Fig. 6 for one packet: it stamps pre-capabilities (and,
+// at trust boundaries, path identifiers) on requests and valid
+// renewals, validates and charges regular packets against the flow
+// cache, demotes packets that fail, and assigns the forwarding class.
+// inIface is the incoming interface index used for path identifier
+// tags. The packet is mutated in place.
+func (r *Router) Process(pkt *packet.Packet, inIface int, now tvatime.Time) packet.Class {
+	h := pkt.Hdr
+	if h == nil {
+		r.Stats.Legacy++
+		pkt.Class = packet.ClassLegacy
+		return pkt.Class
+	}
+	if h.Demoted {
+		// Once demoted, a packet stays legacy for the rest of the path
+		// (§3.8); it is not re-validated downstream.
+		r.Stats.Legacy++
+		pkt.Class = packet.ClassLegacy
+		return pkt.Class
+	}
+	// Header mutation (appended pre-capabilities and path identifiers)
+	// grows the packet on the wire; keep Size consistent.
+	before := h.WireSize()
+	switch h.Kind {
+	case packet.KindRequest:
+		r.stampRequest(pkt, h, inIface, now)
+		pkt.Class = packet.ClassRequest
+	default:
+		if r.processRegular(pkt, h, inIface, now) {
+			pkt.Class = packet.ClassRegular
+		} else {
+			h.Demoted = true
+			r.Stats.Demoted++
+			pkt.Class = packet.ClassLegacy
+		}
+	}
+	pkt.Size += h.WireSize() - before
+	return pkt.Class
+}
+
+// stampRequest adds this router's pre-capability (and path identifier
+// at trust boundaries) to a request.
+func (r *Router) stampRequest(pkt *packet.Packet, h *packet.CapHdr, inIface int, now tvatime.Time) {
+	r.Stats.Requests++
+	if len(h.Request.PreCaps) < packet.MaxCaps {
+		h.Request.PreCaps = append(h.Request.PreCaps, r.auth.PreCap(pkt.Src, pkt.Dst, now))
+	}
+	if r.cfg.TrustBoundary && len(h.Request.PathIDs) < 255 {
+		pathid.Stamp(h, r.cfg.Tagger.ForInterface(inIface))
+	}
+}
+
+// processRegular implements the regular/renewal arm of Fig. 6 and
+// reports whether the packet is authorized.
+func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface int, now tvatime.Time) bool {
+	// This router's capability, if the packet carries a list: the
+	// capability pointer names this router's slot and is advanced
+	// unconditionally so downstream routers index their own slot even
+	// when this router satisfies the packet from cache (Fig. 5).
+	var myCap uint64
+	hasCap := false
+	if h.Kind == packet.KindRegular || h.Kind == packet.KindRenewal {
+		if int(h.Ptr) >= len(h.Caps) {
+			return false // malformed or more routers than slots
+		}
+		myCap = h.Caps[h.Ptr]
+		h.Ptr++
+		hasCap = true
+	}
+
+	if r.cfg.MinTSec > 0 && hasCap {
+		// Enforce the architectural (N/T)min so attackers cannot force
+		// per-flow state at an arbitrarily low rate (§3.6).
+		minRate := int64(r.cfg.MinNKB) * 1024 / int64(r.cfg.MinTSec)
+		if h.TSec == 0 || int64(h.NKB)*1024/int64(h.TSec) < minRate {
+			return false
+		}
+	}
+
+	key := flowcache.Key{Src: pkt.Src, Dst: pkt.Dst}
+	entry := r.cache.Lookup(pkt.Src, pkt.Dst)
+	valid := false
+	switch {
+	case entry != nil && h.Nonce == entry.Nonce:
+		// Common case: flow nonce matches the cached validation.
+		valid = r.cache.Charge(entry, pkt.Size, now)
+		r.Stats.RegularHit++
+	case entry != nil && hasCap:
+		// Possibly the first packet carrying a renewed capability:
+		// validate and, if good, replace the entry (§4.3).
+		if r.auth.ValidateCap(pkt.Src, pkt.Dst, myCap, h.NKB, h.TSec, now) {
+			expiry := capability.Expiry(myCap, h.TSec, now)
+			valid = r.cache.Replace(entry, h.Nonce, myCap, int64(h.NKB)*1024, h.TSec, expiry, pkt.Size, now)
+			if valid {
+				r.Stats.Replaced++
+			}
+		}
+	case entry == nil && hasCap:
+		if r.auth.ValidateCap(pkt.Src, pkt.Dst, myCap, h.NKB, h.TSec, now) {
+			expiry := capability.Expiry(myCap, h.TSec, now)
+			valid = r.cache.Create(key, h.Nonce, myCap, int64(h.NKB)*1024, h.TSec, expiry, pkt.Size, now) != nil
+			r.Stats.RegularMiss++
+		}
+	}
+
+	if valid && h.Kind == packet.KindRenewal {
+		// Mint a fresh pre-capability into the renewal (§4.3).
+		r.Stats.Renewals++
+		if len(h.Request.PreCaps) < packet.MaxCaps {
+			h.Request.PreCaps = append(h.Request.PreCaps, r.auth.PreCap(pkt.Src, pkt.Dst, now))
+		}
+		if r.cfg.TrustBoundary && len(h.Request.PathIDs) < 255 {
+			pathid.Stamp(h, r.cfg.Tagger.ForInterface(inIface))
+		}
+	}
+	return valid
+}

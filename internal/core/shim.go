@@ -1,0 +1,350 @@
+// The host shim of paper §4.2: it piggybacks capability requests on
+// outgoing packets, converts granted pre-capabilities into packets with
+// capability lists and then flow nonces, renews before authorization
+// runs out, echoes demotion signals, and repairs the path when told.
+package core
+
+import (
+	"math/rand"
+
+	"tva/internal/capability"
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+// ShimConfig parameterizes host shim behaviour.
+type ShimConfig struct {
+	// Suite must match the routers' (the destination computes the
+	// public capability hash).
+	Suite capability.Suite
+	// RenewAt is the fraction of N (bytes) or T (time) consumed at
+	// which the sender starts renewing (default 0.75).
+	RenewAt float64
+	// CapsOnFirst is how many packets carry the full capability list
+	// after a grant before switching to nonce-only (default 1: the
+	// first packet seeds every router's cache).
+	CapsOnFirst int
+	// IdleReattach re-attaches the capability list after this much
+	// send silence, in case routers evicted the flow (default 1s):
+	// the host-side cache model of §3.7, optimistic variant.
+	IdleReattach tvatime.Duration
+	// ReattachMinGap rate-limits demotion-triggered re-attachment so a
+	// burst of stale demotion notices cannot thrash a fresh grant.
+	ReattachMinGap tvatime.Duration
+	// AutoReturn emits a standalone packet to carry return information
+	// (grants, demotion notices) when no outbound traffic picked it up
+	// in the same event (default true). Pure receivers need it.
+	AutoReturn bool
+}
+
+func (c ShimConfig) withDefaults() ShimConfig {
+	if c.Suite.NewKeyed == nil {
+		c.Suite = capability.Crypto
+	}
+	if c.RenewAt <= 0 || c.RenewAt >= 1 {
+		c.RenewAt = 0.75
+	}
+	if c.CapsOnFirst <= 0 {
+		c.CapsOnFirst = 1
+	}
+	if c.IdleReattach <= 0 {
+		c.IdleReattach = tvatime.Second
+	}
+	if c.ReattachMinGap <= 0 {
+		c.ReattachMinGap = 100 * tvatime.Millisecond
+	}
+	return c
+}
+
+// sendState tracks the shim's authorization toward one destination.
+type sendState struct {
+	granted    bool
+	nonce      uint64
+	caps       []uint64
+	nkb        uint16
+	tsec       uint8
+	grantedAt  tvatime.Time
+	bytesSent  int64
+	capsSent   int // packets sent carrying the full list
+	everSent   bool
+	lastSend   tvatime.Time
+	lastRepair tvatime.Time
+}
+
+// ShimStats counts shim activity.
+type ShimStats struct {
+	RequestsSent   uint64
+	RegularSent    uint64
+	NonceOnlySent  uint64
+	RenewalsSent   uint64
+	GrantsReceived uint64
+	GrantsIssued   uint64
+	Refusals       uint64
+	DemotionsSeen  uint64
+	Repairs        uint64
+	Reacquires     uint64
+	ReturnsCarried uint64
+	AutoReturns    uint64
+}
+
+// Shim is one host's TVA layer. Output is the function that hands a
+// finished packet to the network (set by the owner before use);
+// Deliver receives incoming payloads. Shim is single-threaded.
+type Shim struct {
+	cfg    ShimConfig
+	addr   packet.Addr
+	clock  tvatime.Clock
+	rng    *rand.Rand
+	policy Policy
+
+	// Output transmits a packet (required).
+	Output func(pkt *packet.Packet)
+	// Deliver hands an incoming payload to the upper layer; demoted
+	// reports the packet arrived demoted (optional).
+	Deliver func(src packet.Addr, proto packet.Proto, payload any, size int, demoted bool)
+
+	sends   map[packet.Addr]*sendState
+	pending map[packet.Addr]*packet.ReturnInfo
+
+	Stats ShimStats
+}
+
+// NewShim builds a host shim for addr with the given authorization
+// policy (nil means refuse everything inbound).
+func NewShim(addr packet.Addr, policy Policy, clock tvatime.Clock, rng *rand.Rand, cfg ShimConfig) *Shim {
+	return &Shim{
+		cfg:     cfg.withDefaults(),
+		addr:    addr,
+		clock:   clock,
+		rng:     rng,
+		policy:  policy,
+		sends:   make(map[packet.Addr]*sendState),
+		pending: make(map[packet.Addr]*packet.ReturnInfo),
+	}
+}
+
+// Addr returns the host address.
+func (s *Shim) Addr() packet.Addr { return s.addr }
+
+// HasCaps reports whether the shim currently holds a grant toward dst
+// (for tests and sender-side diagnostics).
+func (s *Shim) HasCaps(dst packet.Addr) bool {
+	st := s.sends[dst]
+	return st != nil && st.granted
+}
+
+// Send wraps an upper-layer payload toward dst and transmits it. size
+// is the payload's wire size in bytes (e.g. seg.WireLen()).
+func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) {
+	now := s.clock.Now()
+	h := &packet.CapHdr{Proto: proto}
+	st := s.sends[dst]
+
+	switch {
+	case st == nil || !st.granted:
+		s.makeRequest(dst, h, now)
+	default:
+		s.fillGranted(dst, st, h, size, now)
+	}
+
+	// Piggyback any pending return information (§4.1).
+	if ret := s.pending[dst]; ret != nil {
+		h.Return = ret
+		delete(s.pending, dst)
+		s.Stats.ReturnsCarried++
+	}
+
+	pkt := &packet.Packet{
+		Src:   s.addr,
+		Dst:   dst,
+		TTL:   64,
+		Proto: proto,
+		Hdr:   h,
+	}
+	pkt.Size = packet.OuterHdrLen + h.WireSize() + size
+	pkt.Payload = payload
+
+	if st = s.sends[dst]; st != nil && st.granted {
+		st.bytesSent += int64(pkt.Size)
+		st.lastSend = now
+		st.everSent = true
+	}
+	s.Output(pkt)
+}
+
+func (s *Shim) makeRequest(dst packet.Addr, h *packet.CapHdr, now tvatime.Time) {
+	h.Kind = packet.KindRequest
+	s.Stats.RequestsSent++
+	if oa, ok := s.policy.(OutboundAware); ok {
+		oa.NoteOutboundRequest(dst, now)
+	}
+}
+
+func (s *Shim) fillGranted(dst packet.Addr, st *sendState, h *packet.CapHdr, size int, now tvatime.Time) {
+	n := st.n()
+	age := now.Sub(st.grantedAt)
+	life := tvatime.Duration(st.tsec) * tvatime.Second
+
+	// A dead grant (expired or out of bytes) forces a fresh request.
+	if age >= life || st.bytesSent+int64(size)+64 > n {
+		s.sends[dst] = nil
+		s.Stats.Reacquires++
+		s.makeRequest(dst, h, now)
+		return
+	}
+
+	renew := float64(st.bytesSent) >= s.cfg.RenewAt*float64(n) ||
+		age >= tvatime.Duration(s.cfg.RenewAt*float64(life))
+
+	attachCaps := st.capsSent < s.cfg.CapsOnFirst ||
+		(st.everSent && now.Sub(st.lastSend) > s.cfg.IdleReattach)
+
+	h.Nonce = st.nonce
+	switch {
+	case renew:
+		h.Kind = packet.KindRenewal
+		h.Caps = append([]uint64(nil), st.caps...)
+		h.NKB, h.TSec = st.nkb, st.tsec
+		st.capsSent++
+		s.Stats.RenewalsSent++
+	case attachCaps:
+		h.Kind = packet.KindRegular
+		h.Caps = append([]uint64(nil), st.caps...)
+		h.NKB, h.TSec = st.nkb, st.tsec
+		st.capsSent++
+		s.Stats.RegularSent++
+	default:
+		h.Kind = packet.KindNonceOnly
+		s.Stats.NonceOnlySent++
+	}
+}
+
+func (st *sendState) n() int64 { return int64(st.nkb) * 1024 }
+
+// pendingFor returns (creating if needed) the return info accumulating
+// toward dst.
+func (s *Shim) pendingFor(dst packet.Addr) *packet.ReturnInfo {
+	r := s.pending[dst]
+	if r == nil {
+		r = &packet.ReturnInfo{}
+		s.pending[dst] = r
+	}
+	return r
+}
+
+// Receive processes an incoming packet: applies return information,
+// answers authorization requests per policy, echoes demotions, and
+// delivers the payload upward.
+func (s *Shim) Receive(pkt *packet.Packet) {
+	now := s.clock.Now()
+	h := pkt.Hdr
+	if h == nil {
+		if s.Deliver != nil {
+			s.Deliver(pkt.Src, pkt.Proto, pkt.Payload, pkt.Size, false)
+		}
+		return
+	}
+
+	if h.Demoted {
+		// Echo the demotion to the sender on the reverse channel
+		// (§3.8) so it repairs the path.
+		s.Stats.DemotionsSeen++
+		s.pendingFor(pkt.Src).DemotionNotice = true
+	}
+
+	if h.Return != nil {
+		s.applyReturn(pkt.Src, h.Return, now)
+	}
+
+	// Authorization decisions for requests and (valid, undemoted)
+	// renewals that carry fresh pre-capabilities. Pure control
+	// carriers never trigger authorization: answering them could
+	// ping-pong refusal carriers between two shims through the
+	// rate-limited request channel indefinitely.
+	if !h.Demoted && h.Proto != packet.ProtoControl && len(h.Request.PreCaps) > 0 &&
+		(h.Kind == packet.KindRequest || h.Kind == packet.KindRenewal) {
+		s.authorize(pkt.Src, h, now)
+	}
+
+	if s.Deliver != nil && h.Proto != packet.ProtoControl {
+		s.Deliver(pkt.Src, h.Proto, pkt.Payload, pkt.Size, h.Demoted)
+	}
+
+	// If the upper layer produced no reverse traffic to piggyback the
+	// return info on, emit a bare carrier packet. Refusals (empty
+	// grants) are not worth a packet of their own: the refused sender
+	// simply times out, and answering every refused request would let
+	// attackers solicit carrier traffic.
+	if s.cfg.AutoReturn {
+		if ret := s.pending[pkt.Src]; ret != nil &&
+			((ret.Grant != nil && len(ret.Grant.Caps) > 0) || ret.DemotionNotice) {
+			s.Stats.AutoReturns++
+			s.Send(pkt.Src, packet.ProtoControl, nil, 0)
+		}
+	}
+}
+
+func (s *Shim) applyReturn(src packet.Addr, ret *packet.ReturnInfo, now tvatime.Time) {
+	if ret.Grant != nil {
+		if len(ret.Grant.Caps) == 0 {
+			// An empty capability list is an explicit refusal (§4.2).
+			s.Stats.Refusals++
+			return
+		}
+		s.Stats.GrantsReceived++
+		s.sends[src] = &sendState{
+			granted:   true,
+			nonce:     s.rng.Uint64() & packet.NonceMask,
+			caps:      append([]uint64(nil), ret.Grant.Caps...),
+			nkb:       ret.Grant.NKB,
+			tsec:      ret.Grant.TSec,
+			grantedAt: now,
+		}
+	}
+	if ret.DemotionNotice {
+		s.repair(src, now)
+	}
+}
+
+// repair responds to a demotion echo: first re-attach the capability
+// list so routers can rebuild cache state; if notices keep coming,
+// fall back to a fresh request (§3.8).
+func (s *Shim) repair(src packet.Addr, now tvatime.Time) {
+	st := s.sends[src]
+	if st == nil || !st.granted {
+		return // already re-acquiring
+	}
+	if now.Sub(st.grantedAt) < s.cfg.ReattachMinGap {
+		return // notices about packets that predate the fresh grant
+	}
+	if st.lastRepair == 0 || now.Sub(st.lastRepair) > s.cfg.ReattachMinGap {
+		st.capsSent = 0 // re-attach caps on next packets
+		st.lastRepair = now
+		s.Stats.Repairs++
+		return
+	}
+	// Re-attachment did not stick: re-acquire from scratch.
+	s.sends[src] = nil
+	s.Stats.Reacquires++
+}
+
+func (s *Shim) authorize(src packet.Addr, h *packet.CapHdr, now tvatime.Time) {
+	if s.policy == nil {
+		return
+	}
+	nkb, tsec, ok := s.policy.Authorize(src, now)
+	if !ok {
+		// Refusal: an empty capability list (§4.2).
+		s.pendingFor(src).Grant = &packet.Grant{}
+		return
+	}
+	if tsec > packet.MaxTSeconds {
+		tsec = packet.MaxTSeconds
+	}
+	caps := make([]uint64, len(h.Request.PreCaps))
+	for i, pre := range h.Request.PreCaps {
+		caps[i] = s.cfg.Suite.MakeCap(pre, nkb, tsec)
+	}
+	s.Stats.GrantsIssued++
+	s.pendingFor(src).Grant = &packet.Grant{NKB: nkb, TSec: tsec, Caps: caps}
+}

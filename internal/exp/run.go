@@ -1,0 +1,428 @@
+// Topology construction and the simulation driver: the Fig. 7 dumbbell
+// with 10 legitimate users, 1–100 attackers, a destination and a
+// colluder behind a 10 Mb/s bottleneck.
+package exp
+
+import (
+	"tva/internal/core"
+	"tva/internal/netsim"
+	"tva/internal/packet"
+	"tva/internal/pathid"
+	"tva/internal/pushback"
+	"tva/internal/sched"
+	"tva/internal/siff"
+	"tva/internal/tcp"
+	"tva/internal/tvatime"
+)
+
+// Well-known addresses of the dumbbell.
+var (
+	DestAddr     = packet.AddrFrom(192, 168, 0, 1)
+	ColluderAddr = packet.AddrFrom(192, 168, 0, 2)
+)
+
+// UserAddr returns the i-th legitimate user's address.
+func UserAddr(i int) packet.Addr { return packet.AddrFrom(10, 0, byte(i>>8), byte(i)) + 1 }
+
+// AttackerAddr returns the i-th attacker's address.
+func AttackerAddr(i int) packet.Addr { return packet.AddrFrom(11, 0, byte(i>>8), byte(i)) + 1 }
+
+// DestPort is the destination's service port.
+const DestPort = 80
+
+// rawFloodThreshold separates attack payloads from bare protocol
+// packets in the destination's misbehaviour detector.
+const rawFloodThreshold = 200
+
+// builder carries run-scoped construction state.
+type builder struct {
+	cfg Config
+	sim *netsim.Sim
+
+	tvaRouters  []*core.Router
+	siffRouters []*siff.Router
+	taggerSeed  uint64
+}
+
+// linkSched builds the scheme's output scheduler for a link direction
+// owned by an upgraded router; legacy boxes get drop-tail.
+func (b *builder) linkSched(bps int64) sched.Scheduler {
+	return b.linkSchedFor(bps, true)
+}
+
+func (b *builder) linkSchedFor(bps int64, deployed bool) sched.Scheduler {
+	if !deployed {
+		return sched.NewDropTailPkts(50)
+	}
+	switch b.cfg.Scheme {
+	case SchemeTVA:
+		return sched.NewTVA(sched.TVAConfig{
+			LinkBps:           bps,
+			RequestFraction:   b.cfg.RequestFraction,
+			RegularQueueBytes: 64 * 1024,
+		})
+	case SchemeSIFF:
+		return sched.NewSIFF(100, 50)
+	default:
+		return sched.NewDropTailPkts(50)
+	}
+}
+
+// hostEgress is a host's own output queue (hosts self-pace).
+func hostEgress() sched.Scheduler { return sched.NewDropTailPkts(128) }
+
+// newRouterNode builds a router node for the scheme; an undeployed
+// router is a plain legacy forwarder regardless of scheme (§8
+// incremental deployment). For pushback the returned node must
+// additionally be wired with attachPushback.
+func (b *builder) newRouterNode(name string, deployed bool) (*netsim.Node, *pushback.Router) {
+	node := b.sim.NewNode(name)
+	if !deployed {
+		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
+			if pkt.TTL == 0 {
+				return
+			}
+			pkt.TTL--
+			node.Send(pkt)
+		})
+		return node, nil
+	}
+	switch b.cfg.Scheme {
+	case SchemeTVA:
+		b.taggerSeed++
+		rtr := core.NewRouter(core.RouterConfig{
+			Suite:         b.cfg.Suite,
+			CacheEntries:  4096,
+			TrustBoundary: true,
+			Tagger:        pathid.NewSeeded(uint64(b.cfg.Seed)*1315423911 + b.taggerSeed),
+		})
+		b.tvaRouters = append(b.tvaRouters, rtr)
+		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
+			if pkt.TTL == 0 {
+				return
+			}
+			pkt.TTL--
+			rtr.Process(pkt, in.Index, b.sim.Now())
+			node.Send(pkt)
+		})
+		return node, nil
+	case SchemeSIFF:
+		rtr := siff.NewRouter(b.cfg.Suite, b.cfg.SIFFSecretPeriod)
+		b.siffRouters = append(b.siffRouters, rtr)
+		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
+			if pkt.TTL == 0 {
+				return
+			}
+			pkt.TTL--
+			if _, drop := rtr.Process(pkt, b.sim.Now()); drop {
+				return
+			}
+			node.Send(pkt)
+		})
+		return node, nil
+	case SchemePushback:
+		pr := pushback.NewRouter(b.cfg.BottleneckBps, pushback.Config{})
+		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
+			if pkt.TTL == 0 {
+				return
+			}
+			pkt.TTL--
+			if !pr.Arrival(pkt, in.Index, b.sim.Now()) {
+				return
+			}
+			node.Send(pkt)
+		})
+		return node, pr
+	default:
+		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
+			if pkt.TTL == 0 {
+				return
+			}
+			pkt.TTL--
+			node.Send(pkt)
+		})
+		return node, nil
+	}
+}
+
+// attachPushback wires a pushback router's control loop to its
+// congested output interface.
+func (b *builder) attachPushback(pr *pushback.Router, out *netsim.Iface) {
+	if pr == nil {
+		return
+	}
+	out.OnDrop = pr.RecordDrop
+	var lastSent uint64
+	b.sim.Every(pr.Interval(), func() {
+		pr.RecordSent(out.Stats.SentBytes - lastSent)
+		lastSent = out.Stats.SentBytes
+		pr.Tick(b.sim.Now())
+	})
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	sim := netsim.New(cfg.Seed + 1)
+	b := &builder{cfg: cfg, sim: sim}
+
+	// Routers (possibly only partially deployed, §8).
+	leftDeployed := cfg.Deployment != DeployNone
+	rightDeployed := cfg.Deployment == DeployFull
+	left, prLeft := b.newRouterNode("L", leftDeployed)
+	right, _ := b.newRouterNode("R", rightDeployed)
+
+	// Bottleneck link (Fig. 7).
+	lr, rl := netsim.Connect(left, right, cfg.BottleneckBps, cfg.LinkDelay,
+		b.linkSchedFor(cfg.BottleneckBps, leftDeployed),
+		b.linkSchedFor(cfg.BottleneckBps, rightDeployed))
+	left.SetDefault(lr)
+	right.SetDefault(rl)
+	b.attachPushback(prLeft, lr)
+
+	if Debug != nil {
+		Debug(lr)
+		if DebugEnq != nil {
+			inner := left.Handler
+			left.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
+				DebugEnq(pkt)
+				inner.Receive(pkt, in)
+			})
+		}
+	}
+
+	attachLeft := func(h *host) {
+		hi, li := netsim.Connect(h.node, left, cfg.AccessBps, cfg.LinkDelay,
+			hostEgress(), b.linkSchedFor(cfg.AccessBps, leftDeployed))
+		h.node.SetDefault(hi)
+		left.AddRoute(h.addr, li)
+	}
+	attachRight := func(h *host) {
+		hi, ri := netsim.Connect(h.node, right, cfg.AccessBps, cfg.LinkDelay,
+			hostEgress(), b.linkSchedFor(cfg.AccessBps, rightDeployed))
+		h.node.SetDefault(hi)
+		right.AddRoute(h.addr, ri)
+	}
+
+	// Destination: a public server granting the default allowance and
+	// blacklisting raw flooders.
+	destPolicy := core.NewServerPolicy()
+	destPolicy.GrantKB = cfg.GrantKB
+	destPolicy.GrantTSec = cfg.GrantTSec
+	dest := newHost(sim, "dest", DestAddr, destPolicy, cfg)
+	dest.stack.Listen(DestPort, nil)
+	dest.onRaw = func(src packet.Addr, size int, demoted bool) {
+		if size >= rawFloodThreshold {
+			destPolicy.MarkMisbehaving(src, sim.Now())
+		}
+	}
+	attachRight(dest)
+
+	// Colluder: authorizes anything (§5.3).
+	colluder := newHost(sim, "colluder", ColluderAddr, &core.AllowAllPolicy{}, cfg)
+	colluder.onRaw = func(packet.Addr, int, bool) {} // flood sink
+	attachRight(colluder)
+
+	// In the request-flood scenario the paper assumes the destination
+	// can tell attacker requests from user requests (§5.2); mark the
+	// attackers up front so grants are refused.
+	if cfg.Attack == AttackRequestFlood {
+		for i := 0; i < cfg.NumAttackers; i++ {
+			destPolicy.MarkMisbehaving(AttackerAddr(i), 0)
+		}
+	}
+
+	// Legitimate users.
+	var transfers []TransferRecord
+	var users []*host
+	for i := 0; i < cfg.NumUsers; i++ {
+		policy := core.NewClientPolicy()
+		policy.Window = cfg.Duration + 120*tvatime.Second
+		u := newHost(sim, "user", UserAddr(i), policy, cfg)
+		attachLeft(u)
+		startUser(sim, u, i, cfg, &transfers)
+		users = append(users, u)
+	}
+
+	// Attackers.
+	for i := 0; i < cfg.NumAttackers; i++ {
+		b.startAttacker(i, attachLeft)
+	}
+
+	sim.Run(tvatime.Time(cfg.Duration))
+
+	if DebugHosts != nil {
+		DebugHosts(users, dest, b.tvaRouters)
+	}
+
+	res := &Result{
+		Cfg:                   cfg,
+		Transfers:             transfers,
+		BottleneckUtilization: lr.Utilization(cfg.Duration),
+		BottleneckDrops:       lr.Stats.DroppedPkts,
+	}
+	return res
+}
+
+// startUser begins the sequential 20 KB transfer loop of §5: the next
+// transfer starts when the previous completes or aborts.
+func startUser(sim *netsim.Sim, u *host, idx int, cfg Config, out *[]TransferRecord) {
+	var next func()
+	next = func() {
+		if sim.Now() >= tvatime.Time(cfg.Duration) {
+			return
+		}
+		start := sim.Now()
+		decided := false
+		if u.beforeTransfer != nil {
+			u.beforeTransfer(DestAddr)
+		}
+		conn := u.stack.Dial(DestAddr, DestPort, cfg.FileKB*1024, tcp.Config{})
+		if DebugDial != nil {
+			DebugDial(conn)
+		}
+		conn.OnDone = func(ok bool) {
+			decided = true
+			*out = append(*out, TransferRecord{
+				User:      idx,
+				Start:     start,
+				End:       sim.Now(),
+				Completed: ok,
+			})
+			next()
+		}
+		// A transfer still unresolved when the measurement window
+		// closes has not completed within it; record it as such (the
+		// paper's fraction-of-completed-transfers denominator counts
+		// every attempt).
+		sim.At(tvatime.Time(cfg.Duration), func() {
+			if !decided {
+				decided = true
+				*out = append(*out, TransferRecord{
+					User: idx, Start: start, End: sim.Now(), Completed: false,
+				})
+			}
+		})
+	}
+	// Stagger start times a little so users do not phase-lock.
+	offset := tvatime.Duration(sim.Rand().Int63n(int64(200 * tvatime.Millisecond)))
+	sim.At(tvatime.Time(offset), next)
+}
+
+// startAttacker builds attacker i's host and schedules its flood.
+func (b *builder) startAttacker(i int, attach func(*host)) {
+	cfg := b.cfg
+	sim := b.sim
+	addr := AttackerAddr(i)
+
+	// Group schedule (Fig. 11's low-intensity attack).
+	group := 0
+	if cfg.AttackGroups > 1 {
+		perGroup := (cfg.NumAttackers + cfg.AttackGroups - 1) / cfg.AttackGroups
+		group = i / perGroup
+	}
+	start := tvatime.Time(cfg.AttackStart) + tvatime.Time(group)*tvatime.Time(cfg.GroupInterval)
+	stop := start.Add(cfg.GroupDuration)
+
+	interval := tvatime.Duration(int64(cfg.AttackPktSize) * 8 * int64(tvatime.Second) / cfg.AttackRateBps)
+
+	switch cfg.Attack {
+	case AttackNone:
+		return
+
+	case AttackLegacyFlood:
+		node := sim.NewNode("atk")
+		node.Handler = netsim.HandlerFunc(func(*packet.Packet, *netsim.Iface) {})
+		h := &host{addr: addr, node: node}
+		attach(h)
+		flood(sim, start, stop, interval, func() {
+			node.Send(&packet.Packet{
+				Src: addr, Dst: DestAddr, TTL: 64,
+				Proto: packet.ProtoRaw,
+				Size:  packet.OuterHdrLen + cfg.AttackPktSize,
+			})
+		})
+
+	case AttackRequestFlood:
+		node := sim.NewNode("atk")
+		node.Handler = netsim.HandlerFunc(func(*packet.Packet, *netsim.Iface) {})
+		h := &host{addr: addr, node: node}
+		attach(h)
+		flood(sim, start, stop, interval, func() {
+			hdr := &packet.CapHdr{Kind: packet.KindRequest, Proto: packet.ProtoRaw}
+			node.Send(&packet.Packet{
+				Src: addr, Dst: DestAddr, TTL: 64,
+				Proto: packet.ProtoRaw,
+				Hdr:   hdr,
+				Size:  packet.OuterHdrLen + hdr.WireSize() + cfg.AttackPktSize,
+			})
+		})
+
+	case AttackAuthorizedFlood:
+		h := newHost(sim, "atk", addr, core.RefuseAllPolicy{}, cfg)
+		h.onRaw = func(packet.Addr, int, bool) {}
+		attach(h)
+		b.floodWithCaps(h, ColluderAddr, start, stop, interval)
+
+	case AttackImpreciseAuth:
+		h := newHost(sim, "atk", addr, core.RefuseAllPolicy{}, cfg)
+		h.onRaw = func(packet.Addr, int, bool) {}
+		attach(h)
+		b.floodWithCaps(h, DestAddr, start, stop, interval)
+	}
+}
+
+// flood schedules fn at the given pacing within [start, stop). Packet
+// spacing is jittered ±25% (preserving the mean rate) so a fleet of
+// constant-bit-rate attackers does not phase-lock with the bottleneck's
+// service times, which would unrealistically capture every freed
+// drop-tail slot.
+func flood(sim *netsim.Sim, start, stop tvatime.Time, interval tvatime.Duration, fn func()) {
+	rng := sim.Rand()
+	var tick func()
+	tick = func() {
+		if sim.Now() >= stop {
+			return
+		}
+		fn()
+		jitter := 0.75 + 0.5*rng.Float64()
+		sim.After(tvatime.Duration(float64(interval)*jitter), tick)
+	}
+	sim.At(start.Add(tvatime.Duration(rng.Int63n(int64(interval)+1))), tick)
+}
+
+// floodWithCaps floods raw payloads through the scheme's shim: while
+// unauthorized it sends small bare requests paced at one per 100 ms
+// (the attacker wants a grant, and fat requests would only clog the
+// rate-limited request channel ahead of it); once granted it floods at
+// full rate and lets the shim renew.
+func (b *builder) floodWithCaps(h *host, dst packet.Addr, start, stop tvatime.Time, interval tvatime.Duration) {
+	sim := b.sim
+	size := b.cfg.AttackPktSize
+	var lastReq tvatime.Time = -tvatime.Time(tvatime.Second)
+	flood(sim, start, stop, interval, func() {
+		if h.hasCaps(dst) {
+			h.sendRaw(dst, size)
+			return
+		}
+		if sim.Now().Sub(lastReq) >= 100*tvatime.Millisecond {
+			lastReq = sim.Now()
+			h.sendRaw(dst, 0) // bare knock: the shim makes it a request
+		}
+	})
+}
+
+// Debug hooks for instrumented runs (tests and diagnostics). Debug, if
+// set, receives the forward bottleneck interface after construction;
+// DebugEnq, if set, observes every packet arriving at the left router.
+var (
+	Debug    func(bottleneck *netsim.Iface)
+	DebugEnq func(pkt *packet.Packet)
+)
+
+// DebugDial, if set, observes every legitimate user connection.
+var DebugDial func(conn *tcp.Conn)
+
+// DebugHosts, if set, receives the user hosts, destination host and
+// TVA routers after the run completes (white-box assertions in tests).
+var DebugHosts func(users []*host, dest *host, routers []*core.Router)

@@ -1,0 +1,271 @@
+// Package flowcache implements TVA's bounded router state (paper §3.6).
+//
+// A router keeps a cache entry only for flows (sender, destination
+// pairs) with valid capabilities that send faster than N/T. Each entry
+// carries a time-to-live measured in "time equivalents" of the bytes
+// charged to it: creating or charging an entry with an L-byte packet
+// extends its ttl by L*T/N. An entry whose ttl has passed may be
+// reclaimed to admit a new flow. This bounds the bytes sent with one
+// capability to at most 2N no matter how the cache is managed, and
+// bounds the number of live entries to C/(N/T)min for an input link of
+// capacity C (see the theorem in §3.6; TestByteBound* verify it).
+//
+// Eviction order is tracked with a lazy min-heap: charging a flow only
+// advances its TTLExpire (a monotonic increase), so the heap key is
+// allowed to go stale and is repaired when the entry surfaces at the
+// top. That keeps the per-packet fast path (Lookup+Charge) free of
+// heap operations — the property behind Table 1's very cheap
+// "regular packet with cached entry" row.
+package flowcache
+
+import (
+	"container/heap"
+
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+// Key identifies a flow: TVA defines flows on a sender-to-destination
+// IP address basis (§3.5).
+type Key struct {
+	Src, Dst packet.Addr
+}
+
+// Entry is the per-flow state of §4.3: the validated capability, the
+// flow nonce, the authorization (N, T as an absolute expiry), and the
+// byte count and ttl of the bounded-state algorithm.
+type Entry struct {
+	Key   Key
+	Nonce uint64
+	// Cap is this router's own capability value for the flow, kept so
+	// a renewal packet presenting new capabilities can be told apart
+	// from a replay of the old one.
+	Cap    uint64
+	N      int64        // authorized bytes
+	TSec   uint8        // authorized period, seconds
+	Expiry tvatime.Time // first instant the capability is invalid (exclusive bound)
+
+	Bytes     int64        // bytes charged so far
+	TTLExpire tvatime.Time // absolute time the ttl reaches zero
+
+	// heapKey is the (possibly stale, always <= TTLExpire) key the
+	// entry was last ordered by; dead marks entries removed from the
+	// map but not yet drained from the heap.
+	heapKey tvatime.Time
+	dead    bool
+}
+
+// Cache is a fixed-capacity flow cache. It is not safe for concurrent
+// use; routers own one per forwarding context and serialize access.
+type Cache struct {
+	max     int
+	entries map[Key]*Entry
+	byTTL   ttlHeap
+
+	// Stats.
+	Creates, Hits, Misses, Evictions, AdmitFailures uint64
+}
+
+// New returns a cache that holds at most max entries. The paper sizes
+// max at C/(N/T)min for link capacity C; Bound computes that.
+func New(max int) *Cache {
+	if max <= 0 {
+		max = 1
+	}
+	return &Cache{
+		max:     max,
+		entries: make(map[Key]*Entry, max),
+	}
+}
+
+// Bound returns the entry count needed so that a link of linkBps can
+// never exhaust the cache, given the architectural minimum sending
+// rate (N/T)min expressed as minN bytes per minT seconds (§3.6: e.g.
+// 4 KB / 10 s on a gigabit link needs 312,500 records).
+func Bound(linkBps int64, minN int64, minTSec int64) int {
+	bytesPerSec := linkBps / 8
+	minRate := minN / minTSec
+	if minRate <= 0 {
+		minRate = 1
+	}
+	n := bytesPerSec / minRate
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Max returns the capacity.
+func (c *Cache) Max() int { return c.max }
+
+// Lookup finds the entry for a flow, or nil.
+func (c *Cache) Lookup(src, dst packet.Addr) *Entry {
+	e := c.entries[Key{src, dst}]
+	if e != nil {
+		c.Hits++
+	} else {
+		c.Misses++
+	}
+	return e
+}
+
+// ttlDelta converts a packet length to its time-equivalent under the
+// entry's rate N/T: L * T / N (§3.6).
+func ttlDelta(l int, n int64, tsec uint8) tvatime.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return tvatime.Duration(int64(l) * int64(tsec) * int64(tvatime.Second) / n)
+}
+
+// Create admits a new flow, evicting an expired-ttl entry if the cache
+// is full. The first packet (length l) is charged. It returns nil if
+// the cache is full of entries whose ttl has not yet reached zero
+// (which cannot happen when the cache is sized with Bound) or if the
+// first packet alone exceeds the authorization.
+func (c *Cache) Create(key Key, nonce, cap uint64, n int64, tsec uint8, expiry tvatime.Time, l int, now tvatime.Time) *Entry {
+	if int64(l) > n || !now.Before(expiry) {
+		return nil
+	}
+	if old := c.entries[key]; old != nil {
+		c.remove(old)
+	}
+	if len(c.entries) >= c.max && !c.evictExpired(now) {
+		c.AdmitFailures++
+		return nil
+	}
+	e := &Entry{
+		Key:       key,
+		Nonce:     nonce,
+		Cap:       cap,
+		N:         n,
+		TSec:      tsec,
+		Expiry:    expiry,
+		Bytes:     int64(l),
+		TTLExpire: now.Add(ttlDelta(l, n, tsec)),
+	}
+	c.entries[key] = e
+	e.heapKey = e.TTLExpire
+	heap.Push(&c.byTTL, e)
+	c.Creates++
+	c.maybeCompact()
+	return e
+}
+
+// Charge accounts an l-byte packet against an existing entry: it
+// verifies the byte limit and expiry (§3.5's two router checks) and on
+// success extends the ttl by the packet's time equivalent. It reports
+// whether the packet is authorized. Charge never touches the heap
+// (the key goes stale; eviction repairs it), keeping the hot path
+// O(1).
+func (c *Cache) Charge(e *Entry, l int, now tvatime.Time) bool {
+	if !now.Before(e.Expiry) || e.Bytes+int64(l) > e.N {
+		return false
+	}
+	e.Bytes += int64(l)
+	e.TTLExpire = e.TTLExpire.Add(ttlDelta(l, e.N, e.TSec))
+	if e.TTLExpire < now {
+		// The ttl only accumulates while the flow is backlogged; an
+		// idle flow's ttl restarts from now (decrements stop at zero).
+		e.TTLExpire = now.Add(ttlDelta(l, e.N, e.TSec))
+	}
+	return true
+}
+
+// Replace installs a renewed capability in an existing entry (§4.3:
+// "this could be the first packet with a renewed capability, and so the
+// capability is checked and if valid, replaced in the cache entry").
+// The byte count restarts under the new authorization with the packet
+// charged.
+func (c *Cache) Replace(e *Entry, nonce, cap uint64, n int64, tsec uint8, expiry tvatime.Time, l int, now tvatime.Time) bool {
+	if int64(l) > n || !now.Before(expiry) {
+		return false
+	}
+	e.Nonce = nonce
+	e.Cap = cap
+	e.N = n
+	e.TSec = tsec
+	e.Expiry = expiry
+	e.Bytes = int64(l)
+	if newTTL := now.Add(ttlDelta(l, n, tsec)); newTTL > e.TTLExpire {
+		// Keep TTLExpire monotonic so the lazy heap key stays a lower
+		// bound; a shorter renewed ttl only delays reclaimability,
+		// which is always permitted (§3.6: reclaiming is optional).
+		e.TTLExpire = newTTL
+	}
+	return true
+}
+
+// evictExpired reclaims the entry with the earliest ttl if that ttl
+// has passed, making room for a new flow. Stale heap keys (from
+// charges) are repaired as they surface; dead entries are drained.
+// It reports whether it evicted.
+func (c *Cache) evictExpired(now tvatime.Time) bool {
+	for len(c.byTTL) > 0 {
+		top := c.byTTL[0]
+		if top.dead {
+			heap.Pop(&c.byTTL)
+			continue
+		}
+		if top.heapKey != top.TTLExpire {
+			// The entry was charged since it was ordered; re-sink it
+			// under its current key.
+			top.heapKey = top.TTLExpire
+			heap.Fix(&c.byTTL, 0)
+			continue
+		}
+		if top.TTLExpire.After(now) {
+			// The minimum lower bound is still live, so every entry
+			// is live: nothing is reclaimable.
+			return false
+		}
+		heap.Pop(&c.byTTL)
+		delete(c.entries, top.Key)
+		c.Evictions++
+		return true
+	}
+	return false
+}
+
+// remove detaches an entry from the map; its heap node is drained
+// lazily.
+func (c *Cache) remove(e *Entry) {
+	delete(c.entries, e.Key)
+	e.dead = true
+}
+
+// maybeCompact rebuilds the heap when dead nodes dominate, bounding
+// memory at O(live entries).
+func (c *Cache) maybeCompact() {
+	if len(c.byTTL) <= 2*len(c.entries)+64 {
+		return
+	}
+	live := c.byTTL[:0]
+	for _, e := range c.byTTL {
+		if !e.dead {
+			e.heapKey = e.TTLExpire
+			live = append(live, e)
+		}
+	}
+	c.byTTL = live
+	heap.Init(&c.byTTL)
+}
+
+// ttlHeap is a min-heap of entries by heapKey.
+type ttlHeap []*Entry
+
+func (h ttlHeap) Len() int           { return len(h) }
+func (h ttlHeap) Less(i, j int) bool { return h[i].heapKey < h[j].heapKey }
+func (h ttlHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *ttlHeap) Push(x any)        { *h = append(*h, x.(*Entry)) }
+func (h *ttlHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,259 @@
+// Package fq provides the queueing primitives TVA routers compose into
+// the link scheduler of Fig. 2: a deficit-round-robin fair queue (used
+// per path identifier for requests and per destination for regular
+// traffic), a token bucket (the request-channel rate limit), and a
+// drop-tail FIFO (legacy traffic, and the entire legacy Internet
+// baseline).
+package fq
+
+import (
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+// DRR is a deficit-round-robin fair queue over dynamically created
+// per-key flows. Keys are opaque 64-bit values (a path identifier or a
+// destination address). The number of simultaneous queues is bounded
+// by MaxQueues; the paper bounds request queues by the 16-bit tag space
+// and regular queues by the flow-cache size (§3.2, §3.9).
+type DRR struct {
+	quantum   int // bytes added per round; >= max packet size for O(1)
+	maxQueues int
+	perQBytes int // per-queue byte cap
+
+	queues map[uint64]*flowq
+	// Active ring (doubly linked); head is the next queue to serve.
+	head *flowq
+
+	bytes int
+	pkts  int
+
+	// Stats.
+	Drops, DropsNoQueue uint64
+}
+
+type flowq struct {
+	key        uint64
+	pkts       []*packet.Packet
+	byteCount  int
+	deficit    int
+	next, prev *flowq
+}
+
+// NewDRR returns a DRR scheduler. quantum should be at least the MTU;
+// maxQueues bounds queue-state (0 means unlimited); perQueueBytes caps
+// each queue's backlog.
+func NewDRR(quantum, maxQueues, perQueueBytes int) *DRR {
+	if quantum <= 0 {
+		quantum = 1500
+	}
+	if perQueueBytes <= 0 {
+		perQueueBytes = 64 * 1024
+	}
+	return &DRR{
+		quantum:   quantum,
+		maxQueues: maxQueues,
+		perQBytes: perQueueBytes,
+		queues:    make(map[uint64]*flowq),
+	}
+}
+
+// Len returns the number of queued packets.
+func (d *DRR) Len() int { return d.pkts }
+
+// Bytes returns the number of queued bytes.
+func (d *DRR) Bytes() int { return d.bytes }
+
+// NumQueues returns the number of live per-key queues.
+func (d *DRR) NumQueues() int { return len(d.queues) }
+
+// Enqueue adds pkt to key's queue, creating the queue if needed. It
+// reports false (a drop) when the per-queue byte cap or the queue-count
+// bound would be exceeded.
+func (d *DRR) Enqueue(key uint64, pkt *packet.Packet) bool {
+	q := d.queues[key]
+	if q == nil {
+		if d.maxQueues > 0 && len(d.queues) >= d.maxQueues {
+			d.DropsNoQueue++
+			return false
+		}
+		q = &flowq{key: key}
+		d.queues[key] = q
+	}
+	if q.byteCount+pkt.Size > d.perQBytes {
+		d.Drops++
+		return false
+	}
+	q.pkts = append(q.pkts, pkt)
+	q.byteCount += pkt.Size
+	d.bytes += pkt.Size
+	d.pkts++
+	if q.next == nil { // not in the active ring
+		d.ringPush(q)
+	}
+	return true
+}
+
+// Dequeue returns the next packet under deficit round robin, or nil if
+// empty. Each visit to a queue whose deficit cannot cover its head
+// packet tops the deficit up by one quantum and rotates, so with
+// quantum >= MTU every queue sends at most one packet per round and
+// long-run throughput is proportional to rounds (fair in bytes).
+func (d *DRR) Dequeue() *packet.Packet {
+	for d.head != nil {
+		q := d.head
+		pkt := q.pkts[0]
+		if q.deficit >= pkt.Size {
+			q.deficit -= pkt.Size
+			q.pkts = q.pkts[1:]
+			q.byteCount -= pkt.Size
+			d.bytes -= pkt.Size
+			d.pkts--
+			if len(q.pkts) == 0 {
+				q.deficit = 0
+				d.ringRemove(q)
+				if len(q.pkts) == 0 && q.byteCount == 0 {
+					delete(d.queues, q.key)
+				}
+			}
+			return pkt
+		}
+		q.deficit += d.quantum
+		d.head = q.next // rotate
+	}
+	return nil
+}
+
+func (d *DRR) ringPush(q *flowq) {
+	if d.head == nil {
+		q.next, q.prev = q, q
+		d.head = q
+		return
+	}
+	tail := d.head.prev
+	tail.next = q
+	q.prev = tail
+	q.next = d.head
+	d.head.prev = q
+}
+
+func (d *DRR) ringRemove(q *flowq) {
+	if q.next == q {
+		d.head = nil
+	} else {
+		q.prev.next = q.next
+		q.next.prev = q.prev
+		if d.head == q {
+			d.head = q.next
+		}
+	}
+	q.next, q.prev = nil, nil
+}
+
+// FIFO is a drop-tail queue bounded in bytes, packets, or both.
+type FIFO struct {
+	pkts     []*packet.Packet
+	byteCap  int // 0 = unlimited
+	pktCap   int // 0 = unlimited
+	curBytes int
+
+	Drops uint64
+}
+
+// NewFIFO returns a FIFO holding at most capBytes of packets.
+func NewFIFO(capBytes int) *FIFO {
+	if capBytes <= 0 {
+		capBytes = 64 * 1024
+	}
+	return &FIFO{byteCap: capBytes}
+}
+
+// NewFIFOCount returns a FIFO holding at most capPkts packets,
+// regardless of size — the classic ns-2 drop-tail queue, under which
+// per-packet loss is uniform across packet sizes.
+func NewFIFOCount(capPkts int) *FIFO {
+	if capPkts <= 0 {
+		capPkts = 50
+	}
+	return &FIFO{pktCap: capPkts}
+}
+
+// Len returns the queued packet count.
+func (f *FIFO) Len() int { return len(f.pkts) }
+
+// Bytes returns the queued byte count.
+func (f *FIFO) Bytes() int { return f.curBytes }
+
+// Enqueue appends pkt, reporting false on a tail drop.
+func (f *FIFO) Enqueue(pkt *packet.Packet) bool {
+	if (f.byteCap > 0 && f.curBytes+pkt.Size > f.byteCap) ||
+		(f.pktCap > 0 && len(f.pkts) >= f.pktCap) {
+		f.Drops++
+		return false
+	}
+	f.pkts = append(f.pkts, pkt)
+	f.curBytes += pkt.Size
+	return true
+}
+
+// Dequeue pops the head packet, or nil if empty.
+func (f *FIFO) Dequeue() *packet.Packet {
+	if len(f.pkts) == 0 {
+		return nil
+	}
+	pkt := f.pkts[0]
+	f.pkts[0] = nil
+	f.pkts = f.pkts[1:]
+	f.curBytes -= pkt.Size
+	return pkt
+}
+
+// TokenBucket rate-limits a traffic class to rate bytes/second with a
+// burst allowance. Tokens accrue continuously from the last update.
+type TokenBucket struct {
+	rateBps float64 // bytes per second
+	burst   float64 // bytes
+	tokens  float64
+	last    tvatime.Time
+}
+
+// NewTokenBucket returns a bucket filling at rate bits/second with the
+// given burst in bytes, initially full.
+func NewTokenBucket(rateBitsPerSec int64, burstBytes int) *TokenBucket {
+	b := float64(burstBytes)
+	return &TokenBucket{rateBps: float64(rateBitsPerSec) / 8, burst: b, tokens: b}
+}
+
+func (t *TokenBucket) refill(now tvatime.Time) {
+	if now.After(t.last) {
+		t.tokens += t.rateBps * now.Sub(t.last).Seconds()
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+		t.last = now
+	}
+}
+
+// Allow consumes n bytes of tokens if available and reports success.
+func (t *TokenBucket) Allow(n int, now tvatime.Time) bool {
+	t.refill(now)
+	if t.tokens >= float64(n) {
+		t.tokens -= float64(n)
+		return true
+	}
+	return false
+}
+
+// When returns the earliest time at which n bytes of tokens will be
+// available (now if already available). It does not consume.
+func (t *TokenBucket) When(n int, now tvatime.Time) tvatime.Time {
+	t.refill(now)
+	deficit := float64(n) - t.tokens
+	if deficit <= 0 {
+		return now
+	}
+	if t.rateBps <= 0 {
+		return now.Add(tvatime.Minute) // effectively never; poll slowly
+	}
+	return now.Add(tvatime.Duration(deficit / t.rateBps * float64(tvatime.Second)))
+}

@@ -1,0 +1,244 @@
+package fq
+
+import (
+	"testing"
+
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+func pkt(size int) *packet.Packet { return &packet.Packet{Size: size} }
+
+func TestDRRFairnessEqualSizes(t *testing.T) {
+	// Two equally backlogged flows with equal packet sizes are served
+	// within one packet of each other at every point in the drain.
+	d := NewDRR(1500, 0, 1<<20)
+	for i := 0; i < 100; i++ {
+		d.Enqueue(1, taggedPkt(1, 1000))
+		d.Enqueue(2, taggedPkt(2, 1000))
+	}
+	served := map[uint8]int{}
+	for i := 0; i < 200; i++ {
+		p := d.Dequeue()
+		if p == nil {
+			t.Fatal("premature empty")
+		}
+		served[p.TTL]++
+		// Deficits carry across rounds, so service may burst by up to
+		// ~quantum/size packets, but never diverge further.
+		if d := served[1] - served[2]; d < -3 || d > 3 {
+			t.Fatalf("service diverged at step %d: %v", i, served)
+		}
+	}
+	if served[1] != served[2] {
+		t.Errorf("final shares unequal: %v", served)
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len = %d, want 0", d.Len())
+	}
+}
+
+func taggedPkt(flow uint8, size int) *packet.Packet {
+	return &packet.Packet{TTL: flow, Size: size}
+}
+
+func TestDRRByteFairnessUnequalSizes(t *testing.T) {
+	// Flow 1 sends 1500B packets, flow 2 sends 300B packets. Byte-fair
+	// service means flow 2 dequeues ~5x as many packets.
+	d := NewDRR(1500, 0, 1<<20)
+	for i := 0; i < 200; i++ {
+		d.Enqueue(1, taggedPkt(1, 1500))
+	}
+	for i := 0; i < 1000; i++ {
+		d.Enqueue(2, taggedPkt(2, 300))
+	}
+	bytes := map[uint8]int{}
+	served := 0
+	for served < 150*1500 {
+		p := d.Dequeue()
+		if p == nil {
+			break
+		}
+		bytes[p.TTL] += p.Size
+		served += p.Size
+	}
+	ratio := float64(bytes[1]) / float64(bytes[2])
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("byte shares not fair: flow1=%d flow2=%d (ratio %.2f)", bytes[1], bytes[2], ratio)
+	}
+}
+
+func TestDRRNewFlowNotStarved(t *testing.T) {
+	// A new flow's first packet must be served within roughly one
+	// round of the existing backlogged flows.
+	d := NewDRR(100, 0, 1<<20)
+	for f := uint64(1); f <= 10; f++ {
+		for i := 0; i < 50; i++ {
+			d.Enqueue(f, taggedPkt(uint8(f), 100))
+		}
+	}
+	d.Enqueue(99, taggedPkt(99, 100))
+	for i := 0; i < 25; i++ {
+		if d.Dequeue().TTL == 99 {
+			return
+		}
+	}
+	t.Error("new flow not served within ~2 rounds of 10 flows")
+}
+
+func TestDRRPerQueueCap(t *testing.T) {
+	d := NewDRR(1500, 0, 2500)
+	if !d.Enqueue(1, pkt(1000)) || !d.Enqueue(1, pkt(1000)) {
+		t.Fatal("enqueue under cap failed")
+	}
+	if d.Enqueue(1, pkt(1000)) {
+		t.Error("enqueue over per-queue cap succeeded")
+	}
+	if d.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", d.Drops)
+	}
+	// Another flow is unaffected.
+	if !d.Enqueue(2, pkt(1000)) {
+		t.Error("other flow should not be capped")
+	}
+}
+
+func TestDRRMaxQueues(t *testing.T) {
+	d := NewDRR(1500, 2, 1<<20)
+	d.Enqueue(1, pkt(100))
+	d.Enqueue(2, pkt(100))
+	if d.Enqueue(3, pkt(100)) {
+		t.Error("third queue should be rejected")
+	}
+	if d.DropsNoQueue != 1 {
+		t.Errorf("DropsNoQueue = %d, want 1", d.DropsNoQueue)
+	}
+	// Draining queue 1 frees a slot.
+	d.Dequeue()
+	d.Dequeue()
+	if !d.Enqueue(3, pkt(100)) {
+		t.Error("queue slot not reclaimed after drain")
+	}
+}
+
+func TestDRRDrainInterleavedWithEnqueue(t *testing.T) {
+	d := NewDRR(1500, 0, 1<<20)
+	total := 0
+	for i := 0; i < 50; i++ {
+		d.Enqueue(uint64(i%3), pkt(500))
+		total++
+		if i%2 == 1 {
+			if d.Dequeue() != nil {
+				total--
+			}
+		}
+	}
+	for d.Dequeue() != nil {
+		total--
+	}
+	if total != 0 {
+		t.Errorf("leaked %d packets", total)
+	}
+	if d.Len() != 0 || d.Bytes() != 0 || d.NumQueues() != 0 {
+		t.Errorf("not empty after drain: len=%d bytes=%d queues=%d", d.Len(), d.Bytes(), d.NumQueues())
+	}
+}
+
+func TestDRREmptyDequeue(t *testing.T) {
+	d := NewDRR(1500, 0, 0)
+	if d.Dequeue() != nil {
+		t.Error("empty DRR returned a packet")
+	}
+}
+
+func TestFIFOOrderAndDrops(t *testing.T) {
+	f := NewFIFO(2500)
+	a, b, c := pkt(1000), pkt(1000), pkt(1000)
+	if !f.Enqueue(a) || !f.Enqueue(b) {
+		t.Fatal("enqueue failed")
+	}
+	if f.Enqueue(c) {
+		t.Error("over-capacity enqueue succeeded")
+	}
+	if f.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", f.Drops)
+	}
+	if f.Dequeue() != a || f.Dequeue() != b || f.Dequeue() != nil {
+		t.Error("FIFO order violated")
+	}
+	if f.Bytes() != 0 || f.Len() != 0 {
+		t.Error("FIFO not empty after drain")
+	}
+}
+
+func TestFIFOCountCap(t *testing.T) {
+	f := NewFIFOCount(2)
+	if !f.Enqueue(pkt(10_000)) || !f.Enqueue(pkt(1)) {
+		t.Fatal("packet-count FIFO should ignore sizes")
+	}
+	if f.Enqueue(pkt(1)) {
+		t.Error("third packet should drop")
+	}
+}
+
+func TestTokenBucketRate(t *testing.T) {
+	// 8000 bits/s = 1000 bytes/s with 500B burst.
+	tb := NewTokenBucket(8000, 500)
+	now := tvatime.Time(0)
+	if !tb.Allow(500, now) {
+		t.Fatal("initial burst should be allowed")
+	}
+	if tb.Allow(100, now) {
+		t.Error("bucket should be empty")
+	}
+	// After 100ms, 100 bytes accrue.
+	now = now.Add(100 * tvatime.Millisecond)
+	if !tb.Allow(100, now) {
+		t.Error("100B after 100ms should be allowed")
+	}
+	if tb.Allow(1, now) {
+		t.Error("bucket should be drained again")
+	}
+}
+
+func TestTokenBucketWhen(t *testing.T) {
+	tb := NewTokenBucket(8000, 500) // 1000 B/s
+	now := tvatime.Time(0)
+	tb.Allow(500, now)
+	when := tb.When(200, now)
+	want := now.Add(200 * tvatime.Millisecond)
+	diff := when.Sub(want)
+	if diff < -tvatime.Millisecond || diff > tvatime.Millisecond {
+		t.Errorf("When = %v, want ≈%v", when, want)
+	}
+	// When must not consume.
+	if tb.When(200, now) != when {
+		t.Error("When consumed tokens")
+	}
+}
+
+func TestTokenBucketBurstCap(t *testing.T) {
+	tb := NewTokenBucket(8000, 500)
+	now := tvatime.Time(0)
+	tb.Allow(500, now)
+	// A long idle period must not accumulate more than the burst.
+	now = now.Add(time100())
+	if tb.Allow(501, now) {
+		t.Error("accrued more than the burst")
+	}
+	if !tb.Allow(500, now) {
+		t.Error("burst should be available after long idle")
+	}
+}
+
+func time100() tvatime.Duration { return 100 * tvatime.Second }
+
+func BenchmarkDRREnqueueDequeue(b *testing.B) {
+	d := NewDRR(1500, 0, 1<<30)
+	p := pkt(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Enqueue(uint64(i%64), p)
+		d.Dequeue()
+	}
+}

@@ -1,0 +1,148 @@
+// Package mac provides the 56-bit keyed and unkeyed hash functions that
+// TVA capabilities are built from (paper §3.4, §6).
+//
+// The paper's prototype uses an AES-based hash for pre-capabilities (the
+// keyed, router-secret hash) and SHA-1 for capabilities (the public hash
+// the destination can compute). Both are reproduced here on the standard
+// library. A fast keyed FNV variant is provided for large simulations
+// where cryptographic strength is irrelevant to the measured behaviour;
+// the choice is an explicit ablation (see DESIGN.md §5).
+package mac
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/binary"
+)
+
+// Mask56 keeps the low 56 bits of a hash, the size of the hash field in
+// a TVA capability (Fig. 3: 8-bit timestamp + 56-bit hash).
+const Mask56 = (uint64(1) << 56) - 1
+
+// Keyed computes a 56-bit MAC over a small fixed-size message. A router
+// uses one Keyed instance per secret; rotating the secret means
+// constructing a fresh Keyed.
+type Keyed interface {
+	// MAC56 hashes the three words (src/dst addresses and metadata)
+	// under the instance's secret and returns the low 56 bits.
+	MAC56(a, b, c uint64) uint64
+}
+
+// KeyedFactory builds a Keyed from 16 bytes of secret material. It is
+// how the capability authority is parameterized over AES vs FNV.
+type KeyedFactory func(secret [16]byte) Keyed
+
+// NewSecret returns 16 bytes of cryptographically random secret
+// material for a router.
+func NewSecret() [16]byte {
+	var s [16]byte
+	if _, err := rand.Read(s[:]); err != nil {
+		// crypto/rand never fails on supported platforms; if it does,
+		// the router cannot operate safely.
+		panic("mac: reading random secret: " + err.Error())
+	}
+	return s
+}
+
+// aesMAC is a CBC-MAC over exactly two AES blocks (32 bytes of input:
+// three 8-byte words plus 8 bytes of zero padding). Fixed-length input
+// makes plain CBC-MAC safe.
+type aesMAC struct {
+	block cipher.Block
+}
+
+// NewAES returns a Keyed backed by AES-128 CBC-MAC, the paper's
+// pre-capability hash.
+func NewAES(secret [16]byte) Keyed {
+	block, err := aes.NewCipher(secret[:])
+	if err != nil {
+		// 16-byte keys are always valid for AES-128.
+		panic("mac: aes.NewCipher: " + err.Error())
+	}
+	return &aesMAC{block: block}
+}
+
+// MAC56 implements Keyed.
+func (m *aesMAC) MAC56(a, b, c uint64) uint64 {
+	var in [32]byte
+	binary.BigEndian.PutUint64(in[0:8], a)
+	binary.BigEndian.PutUint64(in[8:16], b)
+	binary.BigEndian.PutUint64(in[16:24], c)
+	// in[24:32] stays zero (length is fixed, so no length encoding is
+	// needed for CBC-MAC security).
+	var out [16]byte
+	m.block.Encrypt(out[:], in[0:16])
+	for i := range out {
+		out[i] ^= in[16+i]
+	}
+	m.block.Encrypt(out[:], out[:])
+	return binary.BigEndian.Uint64(out[0:8]) & Mask56
+}
+
+// fnvMAC is a fast keyed FNV-1a variant for simulation runs. It is NOT
+// cryptographically secure; it exists so that multi-million-packet
+// simulations are not dominated by AES, and its use is confined to
+// simulations where the adversary model does not include hash breaking.
+type fnvMAC struct {
+	k0, k1 uint64
+}
+
+// NewFNV returns a fast, non-cryptographic Keyed for simulations.
+func NewFNV(secret [16]byte) Keyed {
+	return &fnvMAC{
+		k0: binary.BigEndian.Uint64(secret[0:8]),
+		k1: binary.BigEndian.Uint64(secret[8:16]),
+	}
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// MAC56 implements Keyed.
+func (m *fnvMAC) MAC56(a, b, c uint64) uint64 {
+	h := uint64(fnvOffset) ^ m.k0
+	for _, w := range [4]uint64{a, b, c, m.k1} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	// Final avalanche so that low bits depend on all input bits.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h & Mask56
+}
+
+// SHA56 is the public (unkeyed) 56-bit hash used to derive a capability
+// from a pre-capability plus the destination's chosen N and T
+// (paper §3.5: capability = hash(pre-capability, N, T)). Both the
+// destination and every router on the path can compute it.
+func SHA56(pre uint64, n uint32, t uint8) uint64 {
+	var in [13]byte
+	binary.BigEndian.PutUint64(in[0:8], pre)
+	binary.BigEndian.PutUint32(in[8:12], n)
+	in[12] = t
+	sum := sha1.Sum(in[:])
+	return binary.BigEndian.Uint64(sum[0:8]) & Mask56
+}
+
+// FastSHA56 is the simulation-speed counterpart of SHA56, used when the
+// keyed side also runs in FNV mode. It mirrors SHA56's interface.
+func FastSHA56(pre uint64, n uint32, t uint8) uint64 {
+	h := uint64(fnvOffset)
+	for _, w := range [3]uint64{pre, uint64(n), uint64(t)} {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h & Mask56
+}

@@ -1,0 +1,298 @@
+// Package netsim is a packet-level discrete-event network simulator,
+// the substrate the paper's ns-2 evaluation runs on (DESIGN.md §2).
+//
+// A simulation is a set of nodes joined by full-duplex links. Each
+// direction of a link has a bandwidth, a propagation delay, and its own
+// output scheduler (any sched.Scheduler), so TVA/SIFF/drop-tail routers
+// differ only in the scheduler attached to each link direction and the
+// node's packet handler. Packets occupy the link for size*8/bandwidth
+// and arrive delay later, which reproduces exactly the queueing
+// behaviour the paper's figures depend on.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"tva/internal/packet"
+	"tva/internal/sched"
+	"tva/internal/tvatime"
+)
+
+// Sim is the event loop. It is single-goroutine: handlers run inline
+// from Run.
+type Sim struct {
+	now    tvatime.Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+}
+
+// New returns a simulator with a deterministic RNG.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now implements tvatime.Clock.
+func (s *Sim) Now() tvatime.Time { return s.now }
+
+// Rand returns the simulation's RNG (deterministic per seed).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at absolute time t (>= now).
+func (s *Sim) At(t tvatime.Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d from now.
+func (s *Sim) After(d tvatime.Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Every schedules fn every period until the simulation ends.
+func (s *Sim) Every(period tvatime.Duration, fn func()) {
+	var tick func()
+	tick = func() {
+		fn()
+		s.After(period, tick)
+	}
+	s.After(period, tick)
+}
+
+// Step runs the earliest event; it reports false when no events remain.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.events).(*event)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue empties or the clock passes
+// until. Events scheduled beyond until remain pending.
+func (s *Sim) Run(until tvatime.Time) {
+	for len(s.events) > 0 && s.events[0].at <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+type event struct {
+	at  tvatime.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Handler processes packets arriving at a node. in is the interface
+// the packet arrived on (nil for locally originated deliveries).
+type Handler interface {
+	Receive(pkt *packet.Packet, in *Iface)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(pkt *packet.Packet, in *Iface)
+
+// Receive implements Handler.
+func (f HandlerFunc) Receive(pkt *packet.Packet, in *Iface) { f(pkt, in) }
+
+// Node is a host or router.
+type Node struct {
+	Sim     *Sim
+	Name    string
+	Handler Handler
+
+	ifaces []*Iface
+	routes map[packet.Addr]*Iface
+	def    *Iface
+}
+
+// NewNode creates a node attached to the simulation.
+func (s *Sim) NewNode(name string) *Node {
+	return &Node{Sim: s, Name: name, routes: make(map[packet.Addr]*Iface)}
+}
+
+// Ifaces returns the node's interfaces in attachment order.
+func (n *Node) Ifaces() []*Iface { return n.ifaces }
+
+// AddRoute installs a host route for dst via the given interface.
+func (n *Node) AddRoute(dst packet.Addr, via *Iface) { n.routes[dst] = via }
+
+// SetDefault installs the default route.
+func (n *Node) SetDefault(via *Iface) { n.def = via }
+
+// Route returns the output interface for dst, or nil if unroutable.
+func (n *Node) Route(dst packet.Addr) *Iface {
+	if i, ok := n.routes[dst]; ok {
+		return i
+	}
+	return n.def
+}
+
+// Send routes and transmits a locally originated or forwarded packet.
+// Unroutable packets are silently dropped (counted on the node).
+func (n *Node) Send(pkt *packet.Packet) {
+	out := n.Route(pkt.Dst)
+	if out == nil {
+		return
+	}
+	out.Send(pkt)
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return n.Name }
+
+// IfaceStats counts traffic through one link direction.
+type IfaceStats struct {
+	EnqueuedPkts  uint64
+	EnqueuedBytes uint64
+	SentPkts      uint64
+	SentBytes     uint64
+	DroppedPkts   uint64
+	DroppedBytes  uint64
+}
+
+// Iface is one direction of a link: the sending side's output queue
+// plus the wire to the peer.
+type Iface struct {
+	Node  *Node
+	Peer  *Iface
+	Index int // index within Node.ifaces
+
+	Bps   int64
+	Delay tvatime.Duration
+	Sched sched.Scheduler
+
+	Stats IfaceStats
+
+	// OnDrop, if set, observes packets dropped at enqueue (pushback's
+	// drop-history hook).
+	OnDrop func(pkt *packet.Packet)
+
+	busy         bool
+	retryPending bool
+}
+
+// Connect joins two nodes with a full-duplex link. bps and delay apply
+// to both directions; schedAB is the output queue for a→b traffic and
+// schedBA for b→a. It returns (a's iface, b's iface).
+func Connect(a, b *Node, bps int64, delay tvatime.Duration, schedAB, schedBA sched.Scheduler) (*Iface, *Iface) {
+	if schedAB == nil {
+		schedAB = sched.NewDropTail(0)
+	}
+	if schedBA == nil {
+		schedBA = sched.NewDropTail(0)
+	}
+	ia := &Iface{Node: a, Bps: bps, Delay: delay, Sched: schedAB, Index: len(a.ifaces)}
+	ib := &Iface{Node: b, Bps: bps, Delay: delay, Sched: schedBA, Index: len(b.ifaces)}
+	ia.Peer, ib.Peer = ib, ia
+	a.ifaces = append(a.ifaces, ia)
+	b.ifaces = append(b.ifaces, ib)
+	return ia, ib
+}
+
+// Send enqueues pkt on this interface's output queue and starts
+// transmission if the link is idle.
+func (i *Iface) Send(pkt *packet.Packet) {
+	sim := i.Node.Sim
+	if !i.Sched.Enqueue(pkt, sim.now) {
+		i.Stats.DroppedPkts++
+		i.Stats.DroppedBytes += uint64(pkt.Size)
+		if i.OnDrop != nil {
+			i.OnDrop(pkt)
+		}
+		return
+	}
+	i.Stats.EnqueuedPkts++
+	i.Stats.EnqueuedBytes += uint64(pkt.Size)
+	i.kick()
+}
+
+// kick starts the transmit loop if idle.
+func (i *Iface) kick() {
+	if i.busy {
+		return
+	}
+	i.busy = true
+	i.txNext()
+}
+
+// txTime returns the serialization delay of size bytes at the link rate.
+func (i *Iface) txTime(size int) tvatime.Duration {
+	if i.Bps <= 0 {
+		return 0
+	}
+	return tvatime.Duration(int64(size) * 8 * int64(tvatime.Second) / i.Bps)
+}
+
+func (i *Iface) txNext() {
+	sim := i.Node.Sim
+	pkt, retry := i.Sched.Dequeue(sim.now)
+	if pkt == nil {
+		i.busy = false
+		if retry > sim.now && !i.retryPending {
+			i.retryPending = true
+			sim.At(retry, func() {
+				i.retryPending = false
+				if !i.busy && i.Sched.Len() > 0 {
+					i.kick()
+				}
+			})
+		}
+		return
+	}
+	sim.After(i.txTime(pkt.Size), func() {
+		i.Stats.SentPkts++
+		i.Stats.SentBytes += uint64(pkt.Size)
+		sim.After(i.Delay, func() { i.deliver(pkt) })
+		i.txNext()
+	})
+}
+
+func (i *Iface) deliver(pkt *packet.Packet) {
+	peer := i.Peer
+	if peer.Node.Handler != nil {
+		peer.Node.Handler.Receive(pkt, peer)
+	}
+}
+
+// String implements fmt.Stringer.
+func (i *Iface) String() string {
+	return fmt.Sprintf("%s#%d->%s", i.Node.Name, i.Index, i.Peer.Node.Name)
+}
+
+// Utilization returns sent bytes as a fraction of what the link could
+// have carried over the elapsed duration.
+func (i *Iface) Utilization(elapsed tvatime.Duration) float64 {
+	if elapsed <= 0 || i.Bps <= 0 {
+		return 0
+	}
+	capacity := float64(i.Bps) / 8 * elapsed.Seconds()
+	return float64(i.Stats.SentBytes) / capacity
+}

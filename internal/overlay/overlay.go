@@ -1,0 +1,294 @@
+// Package overlay is the userspace deployment of TVA (paper §6 and
+// §8): capability routers and host proxies running as ordinary
+// processes over UDP, the "inline packet processing box" form of
+// incremental deployment. A Router forwards TVA packets between
+// UDP-addressed neighbours, running the same core.Router processing
+// and Fig. 2 link scheduling as the simulator; a Host offers a
+// capability-protected datagram service to applications.
+//
+// Concurrency model: one goroutine owns all protocol state (core is
+// single-threaded by design); per-neighbour output goroutines pace
+// transmissions at the configured link rate through the shared
+// scheduler under a lock. This mirrors a router's line-card queues.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tva/internal/core"
+	"tva/internal/packet"
+	"tva/internal/sched"
+	"tva/internal/tvatime"
+)
+
+// maxDatagram is the receive buffer size (payloads are bounded well
+// below this).
+const maxDatagram = 64 * 1024
+
+// RouterConfig configures an overlay router.
+type RouterConfig struct {
+	// Listen is the UDP address to bind (e.g. "127.0.0.1:7000").
+	Listen string
+	// Core configures capability processing (suite, cache, trust
+	// boundary). Zero value gives crypto hashing and defaults.
+	Core core.RouterConfig
+	// LinkBps paces each neighbour link; 0 means unpaced (as fast as
+	// the socket allows).
+	LinkBps int64
+	// RequestFraction is the request-channel share (default 5%).
+	RequestFraction float64
+}
+
+// Router is a userspace TVA capability router.
+type Router struct {
+	conn  *net.UDPConn
+	core  *core.Router
+	clock tvatime.Clock
+	cfg   RouterConfig
+
+	mu     sync.Mutex
+	routes map[packet.Addr]*port
+	ports  map[string]*port // keyed by neighbour UDP address
+	def    *port
+
+	closed  chan struct{}
+	wg      sync.WaitGroup
+	started time.Time
+
+	// Stats (owned by the receive goroutine).
+	Received, Forwarded, Unroutable, Malformed uint64
+}
+
+// port is one neighbour link: an output scheduler paced at the link
+// rate by its own goroutine.
+type port struct {
+	to   *net.UDPAddr
+	bps  int64
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    sched.Scheduler
+
+	Sent, Dropped uint64
+}
+
+// NewRouter binds the router's socket and starts its receive loop.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: resolve %q: %w", cfg.Listen, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: listen: %w", err)
+	}
+	if cfg.RequestFraction <= 0 {
+		cfg.RequestFraction = 0.05
+	}
+	r := &Router{
+		conn:    conn,
+		core:    core.NewRouter(cfg.Core),
+		clock:   tvatime.WallClock{},
+		cfg:     cfg,
+		routes:  make(map[packet.Addr]*port),
+		ports:   make(map[string]*port),
+		closed:  make(chan struct{}),
+		started: time.Now(),
+	}
+	r.wg.Add(1)
+	go r.receiveLoop()
+	return r, nil
+}
+
+// Addr returns the bound UDP address.
+func (r *Router) Addr() *net.UDPAddr { return r.conn.LocalAddr().(*net.UDPAddr) }
+
+// linkSched builds the Fig. 2 scheduler for one neighbour.
+func (r *Router) linkSched() sched.Scheduler {
+	bps := r.cfg.LinkBps
+	if bps <= 0 {
+		bps = 1_000_000_000 // effectively unpaced; still classful
+	}
+	return sched.NewTVA(sched.TVAConfig{
+		LinkBps:         bps,
+		RequestFraction: r.cfg.RequestFraction,
+	})
+}
+
+// portFor returns (creating if needed) the port toward a neighbour.
+func (r *Router) portFor(to *net.UDPAddr) *port {
+	key := to.String()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.ports[key]; ok {
+		return p
+	}
+	p := &port{to: to, bps: r.cfg.LinkBps, q: r.linkSched()}
+	p.cond = sync.NewCond(&p.mu)
+	r.ports[key] = p
+	r.wg.Add(1)
+	go r.portLoop(p)
+	return p
+}
+
+// AddRoute installs a route: packets for dst leave toward the
+// neighbour at via.
+func (r *Router) AddRoute(dst packet.Addr, via string) error {
+	to, err := net.ResolveUDPAddr("udp", via)
+	if err != nil {
+		return fmt.Errorf("overlay: route via %q: %w", via, err)
+	}
+	p := r.portFor(to)
+	r.mu.Lock()
+	r.routes[dst] = p
+	r.mu.Unlock()
+	return nil
+}
+
+// SetDefaultRoute installs the default next hop.
+func (r *Router) SetDefaultRoute(via string) error {
+	to, err := net.ResolveUDPAddr("udp", via)
+	if err != nil {
+		return fmt.Errorf("overlay: default via %q: %w", via, err)
+	}
+	p := r.portFor(to)
+	r.mu.Lock()
+	r.def = p
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *Router) route(dst packet.Addr) *port {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.routes[dst]; ok {
+		return p
+	}
+	return r.def
+}
+
+// Close shuts the router down and waits for its goroutines.
+func (r *Router) Close() error {
+	select {
+	case <-r.closed:
+		return nil
+	default:
+	}
+	close(r.closed)
+	err := r.conn.Close()
+	r.mu.Lock()
+	for _, p := range r.ports {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	return err
+}
+
+// receiveLoop is the single goroutine that owns capability state.
+func (r *Router) receiveLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := r.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-r.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		r.Received++
+		pkt, err := packet.Unmarshal(buf[:n])
+		if err != nil {
+			r.Malformed++
+			continue
+		}
+		if pkt.TTL == 0 {
+			continue
+		}
+		pkt.TTL--
+		// Interface index 0: the overlay's single socket is one
+		// ingress; deployments with multiple trust boundaries run one
+		// router process per boundary.
+		r.core.Process(pkt, 0, r.clock.Now())
+		out := r.route(pkt.Dst)
+		if out == nil {
+			r.Unroutable++
+			continue
+		}
+		r.Forwarded++
+		out.enqueue(pkt, r.clock.Now())
+	}
+}
+
+func (p *port) enqueue(pkt *packet.Packet, now tvatime.Time) {
+	p.mu.Lock()
+	if !p.q.Enqueue(pkt, now) {
+		p.Dropped++
+		p.mu.Unlock()
+		return
+	}
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// portLoop drains one neighbour's scheduler, pacing at the link rate.
+func (r *Router) portLoop(p *port) {
+	defer r.wg.Done()
+	buf := make([]byte, 0, maxDatagram)
+	for {
+		p.mu.Lock()
+		var pkt *packet.Packet
+		for {
+			select {
+			case <-r.closed:
+				p.mu.Unlock()
+				return
+			default:
+			}
+			var retry tvatime.Time
+			pkt, retry = p.q.Dequeue(r.clock.Now())
+			if pkt != nil {
+				break
+			}
+			if retry > 0 {
+				// Rate-limited backlog: wake up when tokens accrue.
+				d := time.Duration(retry - r.clock.Now())
+				if d < time.Millisecond {
+					d = time.Millisecond
+				}
+				timer := time.AfterFunc(d, func() {
+					p.mu.Lock()
+					p.cond.Broadcast()
+					p.mu.Unlock()
+				})
+				p.cond.Wait()
+				timer.Stop()
+				continue
+			}
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+
+		data, err := pkt.Marshal(buf[:0])
+		if err != nil {
+			continue
+		}
+		if _, err := r.conn.WriteToUDP(data, p.to); err == nil {
+			p.Sent++
+		}
+		if p.bps > 0 {
+			time.Sleep(time.Duration(int64(len(data)) * 8 * int64(time.Second) / p.bps))
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package overlay
+
+import (
+	"testing"
+	"time"
+
+	"tva/internal/capability"
+	"tva/internal/core"
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+// testNet builds router←→{alice, bob} on loopback and returns a
+// cleanup-registered trio.
+func testNet(t *testing.T, aPolicy, bPolicy core.Policy) (*Router, *Host, *Host) {
+	t.Helper()
+	r, err := NewRouter(RouterConfig{
+		Listen: "127.0.0.1:0",
+		Core:   core.RouterConfig{Suite: capability.Crypto, TrustBoundary: true},
+	})
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	mkHost := func(addr packet.Addr, policy core.Policy) *Host {
+		h, err := NewHost(HostConfig{
+			Addr:    addr,
+			Listen:  "127.0.0.1:0",
+			Gateway: r.Addr().String(),
+			Policy:  policy,
+			Shim:    core.ShimConfig{Suite: capability.Crypto, AutoReturn: true},
+		})
+		if err != nil {
+			t.Fatalf("host: %v", err)
+		}
+		t.Cleanup(func() { h.Close() })
+		if err := r.AddRoute(addr, h.UDPAddr().String()); err != nil {
+			t.Fatalf("route: %v", err)
+		}
+		return h
+	}
+	alice := mkHost(packet.AddrFrom(10, 0, 0, 1), aPolicy)
+	bob := mkHost(packet.AddrFrom(10, 0, 0, 2), bPolicy)
+	return r, alice, bob
+}
+
+func recvWithin(t *testing.T, h *Host, d time.Duration) Message {
+	t.Helper()
+	select {
+	case m := <-h.Inbox:
+		return m
+	case <-time.After(d):
+		t.Fatal("timed out waiting for a message")
+		return Message{}
+	}
+}
+
+func TestOverlayHandshakeAndDelivery(t *testing.T) {
+	_, alice, bob := testNet(t, core.NewClientPolicy(), core.NewServerPolicy())
+
+	if err := alice.Send(bob.Addr(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvWithin(t, bob, 2*time.Second)
+	if string(msg.Payload) != "hello" || msg.Src != alice.Addr() {
+		t.Fatalf("got %+v", msg)
+	}
+
+	// The grant should have arrived back at alice (carrier or
+	// piggyback); subsequent sends are capability-protected.
+	deadline := time.Now().Add(2 * time.Second)
+	for !alice.HasCaps(bob.Addr()) {
+		if time.Now().After(deadline) {
+			t.Fatal("alice never obtained capabilities")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := alice.Send(bob.Addr(), []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	msg = recvWithin(t, bob, 2*time.Second)
+	if string(msg.Payload) != "again" {
+		t.Fatalf("second message corrupted: %q", msg.Payload)
+	}
+	st := alice.Stats()
+	if st.RequestsSent == 0 || st.GrantsReceived == 0 {
+		t.Errorf("handshake stats wrong: %+v", st)
+	}
+}
+
+func TestOverlayBidirectional(t *testing.T) {
+	_, alice, bob := testNet(t, core.NewServerPolicy(), core.NewServerPolicy())
+	if err := alice.Send(bob.Addr(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, bob, 2*time.Second)
+	if err := bob.Send(alice.Addr(), []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvWithin(t, alice, 2*time.Second)
+	if string(msg.Payload) != "pong" {
+		t.Fatalf("got %q", msg.Payload)
+	}
+}
+
+func TestOverlayRefusedSenderDemoted(t *testing.T) {
+	// Bob refuses everyone; alice's packets stay requests/legacy but
+	// still arrive (low priority) on an idle network.
+	_, alice, bob := testNet(t, core.NewClientPolicy(), core.RefuseAllPolicy{})
+	for i := 0; i < 3; i++ {
+		if err := alice.Send(bob.Addr(), []byte("knock")); err != nil {
+			t.Fatal(err)
+		}
+		recvWithin(t, bob, 2*time.Second)
+	}
+	if alice.HasCaps(bob.Addr()) {
+		t.Error("refused sender believes it is authorized")
+	}
+}
+
+func TestOverlayRouterStats(t *testing.T) {
+	r, alice, bob := testNet(t, core.NewClientPolicy(), core.NewServerPolicy())
+	alice.Send(bob.Addr(), []byte("x"))
+	recvWithin(t, bob, 2*time.Second)
+	r.Close()
+	if r.Received == 0 || r.Forwarded == 0 {
+		t.Errorf("router stats empty: recv=%d fwd=%d", r.Received, r.Forwarded)
+	}
+}
+
+func TestOverlayUnroutableCounted(t *testing.T) {
+	r, alice, bob := testNet(t, core.NewClientPolicy(), core.NewServerPolicy())
+	_ = bob
+	alice.Send(packet.AddrFrom(99, 9, 9, 9), []byte("void"))
+	time.Sleep(200 * time.Millisecond)
+	r.Close()
+	if r.Unroutable == 0 {
+		t.Error("unroutable packet not counted")
+	}
+}
+
+func TestOverlayCloseIdempotent(t *testing.T) {
+	r, alice, _ := testNet(t, core.NewClientPolicy(), core.NewServerPolicy())
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+	alice.Close()
+	if err := alice.Send(1, []byte("x")); err == nil {
+		t.Error("Send after Close should error")
+	}
+}
+
+func TestWorkloadKindsForward(t *testing.T) {
+	for _, kind := range Kinds {
+		w := NewWorkload(kind, capability.Fast)
+		// Capture time after the build: capabilities must never be
+		// validated against a clock earlier than their mint time.
+		now := tvatime.WallClock{}.Now()
+		for i := 0; i < 100; i++ {
+			if !w.ForwardOne(now) {
+				t.Errorf("%v: packet %d demoted/dropped in its own workload", kind, i)
+				break
+			}
+		}
+	}
+}
+
+func TestWorkloadMissStaysMiss(t *testing.T) {
+	// The no-entry workload must keep exercising the validation path:
+	// router misses should keep pace with processed packets.
+	w := NewWorkload(KindRegularNoEntry, capability.Fast)
+	now := tvatime.WallClock{}.Now()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		w.ForwardOne(now)
+	}
+	if hits := w.Router.Stats.RegularHit; hits > n/100 {
+		t.Errorf("no-entry workload produced %d cache hits of %d", hits, n)
+	}
+	if miss := w.Router.Stats.RegularMiss; miss < n*9/10 {
+		t.Errorf("no-entry workload validated only %d of %d", miss, n)
+	}
+}
+
+func TestWorkloadHitStaysHit(t *testing.T) {
+	w := NewWorkload(KindRegularWithEntry, capability.Fast)
+	now := tvatime.WallClock{}.Now()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		w.ForwardOne(now)
+	}
+	if hits := w.Router.Stats.RegularHit; hits < n {
+		t.Errorf("with-entry workload hit only %d of %d", hits, n)
+	}
+}
+
+func TestMeasureForwardingReportsRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	w := NewWorkload(KindRegularWithEntry, capability.Fast)
+	out := MeasureForwarding(w, 20_000, 200*time.Millisecond)
+	if out < 5_000 {
+		t.Errorf("output rate %.0f pps; expected at least 5k on any hardware", out)
+	}
+	if out > 25_000 {
+		t.Errorf("output rate %.0f pps exceeds offered 20k input", out)
+	}
+}

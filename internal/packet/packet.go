@@ -1,0 +1,263 @@
+// Package packet defines the TVA packet model: an IPv4-like outer
+// header plus the capability shim header of Fig. 5 (request, regular
+// with capabilities, regular with nonce only, renewal; demotion and
+// return-info bits; return info carrying either a demotion notification
+// or a capability grant).
+//
+// The same structs serve two consumers: the discrete-event simulator
+// passes *Packet values around directly (sizes are computed from
+// WireSize so queueing behaviour matches the wire), and the userspace
+// overlay marshals them to bytes with Marshal/Unmarshal.
+package packet
+
+import (
+	"fmt"
+)
+
+// Addr is a 32-bit network address, formatted like IPv4 dotted quad.
+type Addr uint32
+
+// String implements fmt.Stringer.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// AddrFrom builds an Addr from four octets.
+func AddrFrom(a, b, c, d byte) Addr {
+	return Addr(a)<<24 | Addr(b)<<16 | Addr(c)<<8 | Addr(d)
+}
+
+// Proto identifies the payload above the shim (or above IP for legacy
+// packets).
+type Proto uint8
+
+// Upper protocols used in this reproduction.
+const (
+	ProtoRaw     Proto = 0 // opaque payload (attack traffic, overlay data)
+	ProtoTCP     Proto = 6
+	ProtoControl Proto = 252 // bare shim control carrier (return info only)
+)
+
+// Kind is the two-bit packet kind from the common header type field.
+type Kind uint8
+
+// Packet kinds (Fig. 5, low two bits of the type field).
+const (
+	KindRequest   Kind = 0 // xx00: request
+	KindRegular   Kind = 1 // xx01: regular with capabilities
+	KindNonceOnly Kind = 2 // xx10: regular with nonce only
+	KindRenewal   Kind = 3 // xx11: renewal
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindRegular:
+		return "regular"
+	case KindNonceOnly:
+		return "nonce-only"
+	case KindRenewal:
+		return "renewal"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Class is the forwarding class a router assigns to a packet after
+// capability processing (Fig. 2): rate-limited requests, preferentially
+// forwarded regular packets, and low-priority legacy traffic (which
+// includes demoted packets).
+type Class uint8
+
+// Forwarding classes.
+const (
+	ClassLegacy Class = iota
+	ClassRequest
+	ClassRegular
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassLegacy:
+		return "legacy"
+	case ClassRequest:
+		return "request"
+	case ClassRegular:
+		return "regular"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// PathID is the 16-bit trust-boundary tag routers stamp on requests
+// (§3.2); the most recent tag identifies the request fair-queue.
+type PathID uint16
+
+// Capability sizes and limits from Fig. 3 and Fig. 5.
+const (
+	// MaxCaps bounds the number of per-router capability slots a
+	// packet can carry (8-bit count field).
+	MaxCaps = 255
+	// MaxN is the largest byte authorization expressible in the 10-bit
+	// N field, in KB units.
+	MaxNKB = 1<<10 - 1
+	// MaxT is the largest validity period expressible in the 6-bit T
+	// field, in seconds. The modulo-256 router timestamp requires
+	// T <= 127 for unambiguous comparison; 63 satisfies that.
+	MaxTSeconds = 1<<6 - 1
+	// NonceMask keeps the low 48 bits, the flow nonce width.
+	NonceMask = uint64(1)<<48 - 1
+)
+
+// RequestHdr is the variable part of a request packet: the path-id and
+// pre-capability lists routers fill in on the way to the destination.
+// Fig. 5 interleaves (path-id, blank capability) pairs; we keep two
+// counted lists because only trust-boundary routers add path-ids while
+// every router adds a pre-capability (see DESIGN.md §2).
+type RequestHdr struct {
+	PathIDs []PathID
+	PreCaps []uint64
+}
+
+// Grant is a destination's authorization: the right to send N bytes
+// within T seconds using the per-router capabilities in Caps (§3.5).
+type Grant struct {
+	NKB  uint16 // authorized bytes, KB units (10 bits on the wire)
+	TSec uint8  // validity period, seconds (6 bits on the wire)
+	Caps []uint64
+}
+
+// N returns the authorized byte count.
+func (g Grant) N() int64 { return int64(g.NKB) * 1024 }
+
+// ReturnInfo travels in the reverse direction piggybacked on a packet
+// when the return bit of the common header is set: a demotion
+// notification, a capability grant, or both.
+type ReturnInfo struct {
+	DemotionNotice bool
+	Grant          *Grant
+}
+
+// CapHdr is the TVA shim header carried by all non-legacy packets.
+type CapHdr struct {
+	Kind    Kind
+	Demoted bool
+	Proto   Proto // upper protocol
+
+	// Request packets (and the renewal part of renewal packets).
+	Request RequestHdr
+
+	// Regular, nonce-only and renewal packets.
+	Nonce uint64 // 48-bit flow nonce
+	NKB   uint16
+	TSec  uint8
+	Caps  []uint64
+	// Ptr is the capability pointer (Fig. 5): the index of the next
+	// router's capability in Caps. The sender zeroes it; each
+	// capability router on the path advances it.
+	Ptr uint8
+
+	// Optional reverse-direction information.
+	Return *ReturnInfo
+}
+
+// Packet is one packet in flight. Size is the total wire size in bytes
+// (outer header + shim + payload) and is what the simulator charges
+// against link bandwidth and capability byte counts.
+type Packet struct {
+	Src, Dst Addr
+	TTL      uint8
+	Proto    Proto // ProtoShim if Hdr != nil, else the legacy protocol
+	Size     int
+
+	// Hdr is the capability shim header; nil for pure legacy packets.
+	Hdr *CapHdr
+
+	// Class is the forwarding class assigned by the most recent
+	// router's capability processing; hosts leave it at the zero
+	// value.
+	Class Class
+
+	// Payload carries the upper-layer content: a marshaled byte slice
+	// in the overlay, or an in-memory object (e.g. a TCP segment) in
+	// the simulator. It may be nil for generated flood traffic whose
+	// content does not matter.
+	Payload any
+}
+
+// OuterHdrLen is the size of the IPv4-like outer header.
+const OuterHdrLen = 20
+
+// HdrWireSize returns the marshaled size of the shim header in bytes,
+// or 0 if the packet is legacy.
+func (p *Packet) HdrWireSize() int {
+	if p.Hdr == nil {
+		return 0
+	}
+	return p.Hdr.WireSize()
+}
+
+// WireSize returns the marshaled size of the shim header.
+func (h *CapHdr) WireSize() int {
+	// Common header: 2 bytes (version|type, upper protocol).
+	n := 2
+	switch h.Kind {
+	case KindRequest:
+		n += 2 + 2*len(h.Request.PathIDs) + 8*len(h.Request.PreCaps)
+	case KindNonceOnly:
+		n += 6 // 48-bit nonce
+	case KindRegular, KindRenewal:
+		n += 6 + 2 + 2 + 8*len(h.Caps) // nonce, counts, N|T, caps
+		if h.Kind == KindRenewal {
+			n += 2 + 2*len(h.Request.PathIDs) + 8*len(h.Request.PreCaps)
+		}
+	}
+	if h.Return != nil {
+		n++ // return type byte
+		if h.Return.Grant != nil {
+			n += 1 + 2 + 8*len(h.Return.Grant.Caps) // count, N|T, caps
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the packet (excluding Payload, which is
+// shared: payloads are immutable once sent).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Hdr != nil {
+		q.Hdr = p.Hdr.Clone()
+	}
+	return &q
+}
+
+// Clone returns a deep copy of the header.
+func (h *CapHdr) Clone() *CapHdr {
+	g := *h
+	g.Request.PathIDs = append([]PathID(nil), h.Request.PathIDs...)
+	g.Request.PreCaps = append([]uint64(nil), h.Request.PreCaps...)
+	g.Caps = append([]uint64(nil), h.Caps...)
+	if h.Return != nil {
+		r := *h.Return
+		if h.Return.Grant != nil {
+			gr := *h.Return.Grant
+			gr.Caps = append([]uint64(nil), h.Return.Grant.Caps...)
+			r.Grant = &gr
+		}
+		g.Return = &r
+	}
+	return &g
+}
+
+// String implements fmt.Stringer for debugging output.
+func (p *Packet) String() string {
+	kind := "legacy"
+	if p.Hdr != nil {
+		kind = p.Hdr.Kind.String()
+		if p.Hdr.Demoted {
+			kind += "/demoted"
+		}
+	}
+	return fmt.Sprintf("%s %s->%s %dB", kind, p.Src, p.Dst, p.Size)
+}

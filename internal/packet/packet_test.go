@@ -1,0 +1,417 @@
+package packet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrString(t *testing.T) {
+	a := AddrFrom(192, 168, 0, 1)
+	if got := a.String(); got != "192.168.0.1" {
+		t.Errorf("Addr.String() = %q, want 192.168.0.1", got)
+	}
+	if AddrFrom(10, 0, 0, 1) == AddrFrom(11, 0, 0, 1) {
+		t.Error("distinct addresses compare equal")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindRequest:   "request",
+		KindRegular:   "regular",
+		KindNonceOnly: "nonce-only",
+		KindRenewal:   "renewal",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestWireSizeNonceOnly(t *testing.T) {
+	h := &CapHdr{Kind: KindNonceOnly, Nonce: 12345}
+	// common(2) + nonce(6)
+	if got := h.WireSize(); got != 8 {
+		t.Errorf("nonce-only WireSize = %d, want 8", got)
+	}
+}
+
+func TestWireSizeRequest(t *testing.T) {
+	h := &CapHdr{Kind: KindRequest}
+	h.Request.PathIDs = []PathID{1, 2}
+	h.Request.PreCaps = []uint64{10, 20, 30}
+	// common(2) + counts(2) + 2*2 + 3*8
+	if got := h.WireSize(); got != 2+2+4+24 {
+		t.Errorf("request WireSize = %d, want %d", got, 2+2+4+24)
+	}
+}
+
+func roundtrip(t *testing.T, p *Packet) *Packet {
+	t.Helper()
+	buf, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	q, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(buf) != p.Size && p.Size != 0 {
+		// Size is advisory in the sim; Marshal computes the real value.
+		t.Logf("note: p.Size=%d, wire=%d", p.Size, len(buf))
+	}
+	return q
+}
+
+func TestRoundtripLegacy(t *testing.T) {
+	p := &Packet{
+		Src: AddrFrom(1, 2, 3, 4), Dst: AddrFrom(5, 6, 7, 8),
+		TTL: 64, Proto: ProtoRaw, Payload: []byte("hello"),
+	}
+	q := roundtrip(t, p)
+	if q.Src != p.Src || q.Dst != p.Dst || q.TTL != 64 || q.Hdr != nil {
+		t.Errorf("legacy roundtrip mismatch: %+v", q)
+	}
+	if string(q.Payload.([]byte)) != "hello" {
+		t.Errorf("payload mismatch: %v", q.Payload)
+	}
+}
+
+func TestRoundtripRequest(t *testing.T) {
+	p := &Packet{
+		Src: 1, Dst: 2, TTL: 3, Proto: ProtoTCP,
+		Hdr: &CapHdr{
+			Kind:  KindRequest,
+			Proto: ProtoTCP,
+			Request: RequestHdr{
+				PathIDs: []PathID{0xBEEF, 0x1234},
+				PreCaps: []uint64{1 << 60, 42, 7},
+			},
+		},
+	}
+	q := roundtrip(t, p)
+	if q.Hdr == nil || q.Hdr.Kind != KindRequest {
+		t.Fatalf("kind mismatch: %+v", q.Hdr)
+	}
+	if !reflect.DeepEqual(q.Hdr.Request, p.Hdr.Request) {
+		t.Errorf("request lists mismatch:\n got %+v\nwant %+v", q.Hdr.Request, p.Hdr.Request)
+	}
+	if q.Proto != ProtoTCP {
+		t.Errorf("upper proto = %d, want TCP", q.Proto)
+	}
+}
+
+func TestRoundtripRegularWithReturn(t *testing.T) {
+	p := &Packet{
+		Src: 9, Dst: 10, TTL: 64, Proto: ProtoTCP,
+		Hdr: &CapHdr{
+			Kind:  KindRegular,
+			Proto: ProtoTCP,
+			Nonce: 0x0000ABCDEF123456,
+			NKB:   1000,
+			TSec:  33,
+			Ptr:   1,
+			Caps:  []uint64{111, 222},
+			Return: &ReturnInfo{
+				DemotionNotice: true,
+				Grant: &Grant{
+					NKB: 32, TSec: 10,
+					Caps: []uint64{5, 6, 7},
+				},
+			},
+		},
+		Payload: []byte{1, 2, 3},
+	}
+	q := roundtrip(t, p)
+	h := q.Hdr
+	if h.Kind != KindRegular || h.Nonce != p.Hdr.Nonce || h.NKB != 1000 || h.TSec != 33 || h.Ptr != 1 {
+		t.Errorf("header mismatch: %+v", h)
+	}
+	if !reflect.DeepEqual(h.Caps, p.Hdr.Caps) {
+		t.Errorf("caps mismatch: %v", h.Caps)
+	}
+	if h.Return == nil || !h.Return.DemotionNotice || h.Return.Grant == nil {
+		t.Fatalf("return info lost: %+v", h.Return)
+	}
+	if h.Return.Grant.NKB != 32 || h.Return.Grant.TSec != 10 ||
+		!reflect.DeepEqual(h.Return.Grant.Caps, p.Hdr.Return.Grant.Caps) {
+		t.Errorf("grant mismatch: %+v", h.Return.Grant)
+	}
+}
+
+func TestRoundtripRenewal(t *testing.T) {
+	p := &Packet{
+		Src: 1, Dst: 2, TTL: 64, Proto: ProtoTCP,
+		Hdr: &CapHdr{
+			Kind:  KindRenewal,
+			Proto: ProtoTCP,
+			Nonce: 99,
+			NKB:   32,
+			TSec:  10,
+			Caps:  []uint64{1, 2},
+			Request: RequestHdr{
+				PathIDs: []PathID{7},
+				PreCaps: []uint64{0xFFEE},
+			},
+		},
+	}
+	q := roundtrip(t, p)
+	if q.Hdr.Kind != KindRenewal || !reflect.DeepEqual(q.Hdr.Request, p.Hdr.Request) ||
+		!reflect.DeepEqual(q.Hdr.Caps, p.Hdr.Caps) {
+		t.Errorf("renewal roundtrip mismatch: %+v", q.Hdr)
+	}
+}
+
+func TestRoundtripDemoted(t *testing.T) {
+	p := &Packet{
+		Src: 1, Dst: 2, TTL: 1, Proto: ProtoRaw,
+		Hdr: &CapHdr{Kind: KindNonceOnly, Proto: ProtoRaw, Nonce: 5, Demoted: true},
+	}
+	q := roundtrip(t, p)
+	if !q.Hdr.Demoted {
+		t.Error("demoted bit lost on the wire")
+	}
+}
+
+func TestNonceMasked48Bits(t *testing.T) {
+	p := &Packet{
+		Src: 1, Dst: 2, Proto: ProtoRaw,
+		Hdr: &CapHdr{Kind: KindNonceOnly, Proto: ProtoRaw, Nonce: ^uint64(0)},
+	}
+	q := roundtrip(t, p)
+	if q.Hdr.Nonce != NonceMask {
+		t.Errorf("nonce = %x, want %x (48 bits)", q.Hdr.Nonce, NonceMask)
+	}
+}
+
+func TestNTFieldBounds(t *testing.T) {
+	// N is 10 bits and T is 6: values beyond the field width must not
+	// bleed into each other.
+	p := &Packet{
+		Src: 1, Dst: 2, Proto: ProtoRaw,
+		Hdr: &CapHdr{Kind: KindRegular, Proto: ProtoRaw, NKB: MaxNKB, TSec: MaxTSeconds, Caps: []uint64{1}},
+	}
+	q := roundtrip(t, p)
+	if q.Hdr.NKB != MaxNKB || q.Hdr.TSec != MaxTSeconds {
+		t.Errorf("N/T roundtrip: got %d/%d want %d/%d", q.Hdr.NKB, q.Hdr.TSec, MaxNKB, MaxTSeconds)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil input should fail")
+	}
+	if _, err := Unmarshal(make([]byte, 5)); err == nil {
+		t.Error("short input should fail")
+	}
+	p := &Packet{Src: 1, Dst: 2, Proto: ProtoRaw, Hdr: &CapHdr{Kind: KindRegular, Proto: ProtoRaw, Caps: []uint64{1, 2, 3}}}
+	buf, err := p.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := Unmarshal(buf[:cut]); err == nil {
+			// Cuts inside the payload region are legal only if the
+			// length field still fits; here there is no payload so
+			// every cut must error.
+			t.Errorf("truncated at %d should fail", cut)
+		}
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] = 9 // outer version
+	if _, err := Unmarshal(bad); err != ErrBadVersion {
+		t.Errorf("bad version: got %v", err)
+	}
+}
+
+func TestMarshalRejectsOversizedLists(t *testing.T) {
+	h := &CapHdr{Kind: KindRegular, Caps: make([]uint64, MaxCaps+1)}
+	p := &Packet{Hdr: h}
+	if _, err := p.Marshal(nil); err != ErrTooMany {
+		t.Errorf("oversized caps: got %v, want ErrTooMany", err)
+	}
+}
+
+func TestMarshalRejectsOpaquePayload(t *testing.T) {
+	p := &Packet{Payload: 42}
+	if _, err := p.Marshal(nil); err == nil {
+		t.Error("non-[]byte payload should not marshal")
+	}
+}
+
+// randomHdr builds a random but valid header for property tests.
+func randomHdr(rng *rand.Rand) *CapHdr {
+	h := &CapHdr{
+		Kind:    Kind(rng.Intn(4)),
+		Demoted: rng.Intn(2) == 0,
+		Proto:   Proto(rng.Intn(256)),
+		Nonce:   rng.Uint64() & NonceMask,
+		NKB:     uint16(rng.Intn(MaxNKB + 1)),
+		TSec:    uint8(rng.Intn(MaxTSeconds + 1)),
+	}
+	fillReq := func() {
+		for i := 0; i < rng.Intn(4); i++ {
+			h.Request.PathIDs = append(h.Request.PathIDs, PathID(rng.Uint32()))
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			h.Request.PreCaps = append(h.Request.PreCaps, rng.Uint64())
+		}
+	}
+	switch h.Kind {
+	case KindRequest:
+		fillReq()
+		h.Nonce, h.NKB, h.TSec = 0, 0, 0
+	case KindNonceOnly:
+		h.NKB, h.TSec = 0, 0
+	case KindRegular, KindRenewal:
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			h.Caps = append(h.Caps, rng.Uint64())
+		}
+		h.Ptr = uint8(rng.Intn(n))
+		if h.Kind == KindRenewal {
+			fillReq()
+		}
+	}
+	if rng.Intn(2) == 0 {
+		ret := &ReturnInfo{DemotionNotice: rng.Intn(2) == 0}
+		if rng.Intn(2) == 0 {
+			g := &Grant{NKB: uint16(rng.Intn(MaxNKB + 1)), TSec: uint8(rng.Intn(MaxTSeconds + 1))}
+			for i := 0; i < rng.Intn(4); i++ {
+				g.Caps = append(g.Caps, rng.Uint64())
+			}
+			ret.Grant = g
+		}
+		if ret.DemotionNotice || ret.Grant != nil {
+			h.Return = ret
+		}
+	}
+	return h
+}
+
+// TestPropertyRoundtrip: marshal∘unmarshal is identity and WireSize
+// matches the marshaled length, across random headers.
+func TestPropertyRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		h := randomHdr(rng)
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		p := &Packet{
+			Src:   Addr(rng.Uint32()),
+			Dst:   Addr(rng.Uint32()),
+			TTL:   uint8(rng.Intn(256)),
+			Class: Class(rng.Intn(3)),
+			Proto: h.Proto,
+			Hdr:   h,
+		}
+		if len(payload) > 0 {
+			p.Payload = payload
+		}
+		buf, err := p.Marshal(nil)
+		if err != nil {
+			t.Fatalf("iter %d: Marshal: %v (hdr %+v)", i, err, h)
+		}
+		if want := OuterHdrLen + h.WireSize() + len(payload); len(buf) != want {
+			t.Fatalf("iter %d: wire length %d != WireSize sum %d", i, len(buf), want)
+		}
+		q, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("iter %d: Unmarshal: %v", i, err)
+		}
+		normalize := func(h *CapHdr) *CapHdr {
+			c := h.Clone()
+			if len(c.Request.PathIDs) == 0 {
+				c.Request.PathIDs = nil
+			}
+			if len(c.Request.PreCaps) == 0 {
+				c.Request.PreCaps = nil
+			}
+			if len(c.Caps) == 0 {
+				c.Caps = nil
+			}
+			return c
+		}
+		if !reflect.DeepEqual(normalize(q.Hdr), normalize(p.Hdr)) {
+			t.Fatalf("iter %d: header mismatch\n got %+v\nwant %+v", i, q.Hdr, p.Hdr)
+		}
+		if q.Src != p.Src || q.Dst != p.Dst || q.TTL != p.TTL || q.Class != p.Class {
+			t.Fatalf("iter %d: outer mismatch", i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := &Packet{
+		Src: 1, Dst: 2,
+		Hdr: &CapHdr{
+			Kind: KindRegular, Caps: []uint64{1, 2},
+			Return: &ReturnInfo{Grant: &Grant{Caps: []uint64{9}}},
+		},
+	}
+	q := p.Clone()
+	q.Hdr.Caps[0] = 99
+	q.Hdr.Return.Grant.Caps[0] = 98
+	if p.Hdr.Caps[0] == 99 || p.Hdr.Return.Grant.Caps[0] == 98 {
+		t.Error("Clone shares slices with the original")
+	}
+}
+
+func TestPropertyQuickNT(t *testing.T) {
+	f := func(nkb uint16, tsec uint8) bool {
+		nkb %= MaxNKB + 1
+		tsec %= MaxTSeconds + 1
+		v := (nkb&MaxNKB)<<6 | uint16(tsec&MaxTSeconds)
+		gotN, gotT := splitNT(v)
+		return gotN == nkb && gotT == tsec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnmarshalRobustAgainstGarbage feeds random and bit-flipped bytes
+// to the wire parser: it must never panic and must either error or
+// return a structurally valid packet (an attacker controls every byte
+// a router parses).
+func TestUnmarshalRobustAgainstGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		buf := make([]byte, rng.Intn(128))
+		rng.Read(buf)
+		if len(buf) > 0 && rng.Intn(2) == 0 {
+			buf[0] = Version // exercise deeper paths
+		}
+		p, err := Unmarshal(buf)
+		if err != nil {
+			continue
+		}
+		if p.Size > len(buf) {
+			t.Fatalf("iter %d: parsed Size %d beyond input %d", i, p.Size, len(buf))
+		}
+	}
+	// Bit-flip corruption of valid packets.
+	valid := &Packet{
+		Src: 1, Dst: 2, TTL: 3, Proto: ProtoTCP,
+		Hdr: &CapHdr{
+			Kind: KindRegular, Proto: ProtoTCP, Nonce: 7, NKB: 32, TSec: 10,
+			Caps:   []uint64{1, 2},
+			Return: &ReturnInfo{Grant: &Grant{NKB: 4, TSec: 5, Caps: []uint64{9}}},
+		},
+	}
+	base, err := valid.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		buf := append([]byte(nil), base...)
+		for flips := 0; flips <= rng.Intn(4); flips++ {
+			pos := rng.Intn(len(buf))
+			buf[pos] ^= 1 << uint(rng.Intn(8))
+		}
+		Unmarshal(buf) // must not panic
+	}
+}

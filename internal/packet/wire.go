@@ -1,0 +1,326 @@
+// Binary wire format for TVA packets. The outer header is a fixed
+// 20-byte IPv4-like header; the shim header layout follows Fig. 5 of
+// the paper (sizes in bits given there; see packet.go for the one
+// documented deviation in the request list layout).
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the shim header version carried in the top nibble of the
+// first shim byte.
+const Version = 1
+
+// ProtoShim is the outer-header protocol number indicating that a TVA
+// shim header follows (analogous to a new IP protocol number).
+const ProtoShim Proto = 253
+
+// Type-field flag bits (Fig. 5: 1xxx demoted, x1xx return info).
+const (
+	typeDemoted = 0x8
+	typeReturn  = 0x4
+	typeKind    = 0x3
+)
+
+// Return-info type byte values.
+const (
+	returnDemotion = 0x01
+	returnGrant    = 0x02
+)
+
+// Wire format errors.
+var (
+	ErrTruncated  = errors.New("packet: truncated")
+	ErrBadVersion = errors.New("packet: bad shim version")
+	ErrTooMany    = errors.New("packet: list longer than count field allows")
+)
+
+// Marshal appends the packet's wire representation to buf and returns
+// the extended slice. The payload must already be a []byte (or nil);
+// the simulator never marshals its in-memory payloads.
+func (p *Packet) Marshal(buf []byte) ([]byte, error) {
+	var payload []byte
+	switch pl := p.Payload.(type) {
+	case nil:
+	case []byte:
+		payload = pl
+	default:
+		return nil, fmt.Errorf("packet: cannot marshal payload of type %T", p.Payload)
+	}
+	total := OuterHdrLen + p.HdrWireSize() + len(payload)
+
+	// Outer header: version(1) class(1) ttl(1) proto(1)
+	// totalLen(4) src(4) dst(4) reserved(4).
+	var outer [OuterHdrLen]byte
+	outer[0] = Version
+	outer[1] = byte(p.Class)
+	outer[2] = p.TTL
+	if p.Hdr != nil {
+		outer[3] = byte(ProtoShim)
+	} else {
+		outer[3] = byte(p.Proto)
+	}
+	binary.BigEndian.PutUint32(outer[4:8], uint32(total))
+	binary.BigEndian.PutUint32(outer[8:12], uint32(p.Src))
+	binary.BigEndian.PutUint32(outer[12:16], uint32(p.Dst))
+	buf = append(buf, outer[:]...)
+
+	if p.Hdr != nil {
+		var err error
+		buf, err = p.Hdr.marshal(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return append(buf, payload...), nil
+}
+
+func (h *CapHdr) marshal(buf []byte) ([]byte, error) {
+	t := byte(h.Kind) & typeKind
+	if h.Demoted {
+		t |= typeDemoted
+	}
+	if h.Return != nil {
+		t |= typeReturn
+	}
+	buf = append(buf, Version<<4|t, byte(h.Proto))
+
+	switch h.Kind {
+	case KindRequest:
+		var err error
+		buf, err = marshalRequest(buf, &h.Request)
+		if err != nil {
+			return nil, err
+		}
+	case KindNonceOnly:
+		buf = appendNonce(buf, h.Nonce)
+	case KindRegular, KindRenewal:
+		if len(h.Caps) > MaxCaps {
+			return nil, ErrTooMany
+		}
+		buf = appendNonce(buf, h.Nonce)
+		buf = append(buf, byte(len(h.Caps)), h.Ptr) // count, ptr
+		buf = appendNT(buf, h.NKB, h.TSec)
+		for _, c := range h.Caps {
+			buf = binary.BigEndian.AppendUint64(buf, c)
+		}
+		if h.Kind == KindRenewal {
+			var err error
+			buf, err = marshalRequest(buf, &h.Request)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if h.Return != nil {
+		rt := byte(0)
+		if h.Return.DemotionNotice {
+			rt |= returnDemotion
+		}
+		if h.Return.Grant != nil {
+			rt |= returnGrant
+		}
+		buf = append(buf, rt)
+		if g := h.Return.Grant; g != nil {
+			if len(g.Caps) > MaxCaps {
+				return nil, ErrTooMany
+			}
+			buf = append(buf, byte(len(g.Caps)))
+			buf = appendNT(buf, g.NKB, g.TSec)
+			for _, c := range g.Caps {
+				buf = binary.BigEndian.AppendUint64(buf, c)
+			}
+		}
+	}
+	return buf, nil
+}
+
+func marshalRequest(buf []byte, r *RequestHdr) ([]byte, error) {
+	if len(r.PathIDs) > 255 || len(r.PreCaps) > MaxCaps {
+		return nil, ErrTooMany
+	}
+	buf = append(buf, byte(len(r.PathIDs)), byte(len(r.PreCaps)))
+	for _, id := range r.PathIDs {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(id))
+	}
+	for _, c := range r.PreCaps {
+		buf = binary.BigEndian.AppendUint64(buf, c)
+	}
+	return buf, nil
+}
+
+func appendNonce(buf []byte, nonce uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], nonce&NonceMask)
+	return append(buf, b[2:8]...)
+}
+
+// appendNT packs N (10 bits, KB) and T (6 bits, seconds) into 2 bytes.
+func appendNT(buf []byte, nkb uint16, tsec uint8) []byte {
+	v := (nkb&MaxNKB)<<6 | uint16(tsec&MaxTSeconds)
+	return binary.BigEndian.AppendUint16(buf, v)
+}
+
+func splitNT(v uint16) (nkb uint16, tsec uint8) {
+	return v >> 6 & MaxNKB, uint8(v & MaxTSeconds)
+}
+
+// Unmarshal parses a packet from wire bytes. The payload (if any) is
+// copied into a fresh []byte stored in Payload.
+func Unmarshal(data []byte) (*Packet, error) {
+	if len(data) < OuterHdrLen {
+		return nil, ErrTruncated
+	}
+	if data[0] != Version {
+		return nil, ErrBadVersion
+	}
+	p := &Packet{
+		Class: Class(data[1]),
+		TTL:   data[2],
+		Proto: Proto(data[3]),
+		Src:   Addr(binary.BigEndian.Uint32(data[8:12])),
+		Dst:   Addr(binary.BigEndian.Uint32(data[12:16])),
+	}
+	total := int(binary.BigEndian.Uint32(data[4:8]))
+	if total > len(data) || total < OuterHdrLen {
+		return nil, ErrTruncated
+	}
+	p.Size = total
+	rest := data[OuterHdrLen:total]
+	if p.Proto == ProtoShim {
+		hdr, n, err := unmarshalHdr(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Hdr = hdr
+		p.Proto = hdr.Proto
+		rest = rest[n:]
+	}
+	if len(rest) > 0 {
+		p.Payload = append([]byte(nil), rest...)
+	}
+	return p, nil
+}
+
+func unmarshalHdr(data []byte) (*CapHdr, int, error) {
+	if len(data) < 2 {
+		return nil, 0, ErrTruncated
+	}
+	if data[0]>>4 != Version {
+		return nil, 0, ErrBadVersion
+	}
+	t := data[0] & 0x0f
+	h := &CapHdr{
+		Kind:    Kind(t & typeKind),
+		Demoted: t&typeDemoted != 0,
+		Proto:   Proto(data[1]),
+	}
+	off := 2
+	var err error
+	switch h.Kind {
+	case KindRequest:
+		off, err = unmarshalRequest(data, off, &h.Request)
+		if err != nil {
+			return nil, 0, err
+		}
+	case KindNonceOnly:
+		if h.Nonce, off, err = readNonce(data, off); err != nil {
+			return nil, 0, err
+		}
+	case KindRegular, KindRenewal:
+		if h.Nonce, off, err = readNonce(data, off); err != nil {
+			return nil, 0, err
+		}
+		if len(data) < off+4 {
+			return nil, 0, ErrTruncated
+		}
+		ncaps := int(data[off])
+		h.Ptr = data[off+1]
+		off += 2 // count, ptr
+		h.NKB, h.TSec = splitNT(binary.BigEndian.Uint16(data[off : off+2]))
+		off += 2
+		if h.Caps, off, err = readCaps(data, off, ncaps); err != nil {
+			return nil, 0, err
+		}
+		if h.Kind == KindRenewal {
+			off, err = unmarshalRequest(data, off, &h.Request)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+
+	if t&typeReturn != 0 {
+		if len(data) < off+1 {
+			return nil, 0, ErrTruncated
+		}
+		rt := data[off]
+		off++
+		ret := &ReturnInfo{DemotionNotice: rt&returnDemotion != 0}
+		if rt&returnGrant != 0 {
+			if len(data) < off+3 {
+				return nil, 0, ErrTruncated
+			}
+			g := &Grant{}
+			ncaps := int(data[off])
+			off++
+			g.NKB, g.TSec = splitNT(binary.BigEndian.Uint16(data[off : off+2]))
+			off += 2
+			if g.Caps, off, err = readCaps(data, off, ncaps); err != nil {
+				return nil, 0, err
+			}
+			ret.Grant = g
+		}
+		h.Return = ret
+	}
+	return h, off, nil
+}
+
+func unmarshalRequest(data []byte, off int, r *RequestHdr) (int, error) {
+	if len(data) < off+2 {
+		return 0, ErrTruncated
+	}
+	nids, ncaps := int(data[off]), int(data[off+1])
+	off += 2
+	if len(data) < off+2*nids+8*ncaps {
+		return 0, ErrTruncated
+	}
+	if nids > 0 {
+		r.PathIDs = make([]PathID, nids)
+		for i := range r.PathIDs {
+			r.PathIDs[i] = PathID(binary.BigEndian.Uint16(data[off : off+2]))
+			off += 2
+		}
+	}
+	var err error
+	r.PreCaps, off, err = readCaps(data, off, ncaps)
+	return off, err
+}
+
+func readNonce(data []byte, off int) (uint64, int, error) {
+	if len(data) < off+6 {
+		return 0, 0, ErrTruncated
+	}
+	var b [8]byte
+	copy(b[2:], data[off:off+6])
+	return binary.BigEndian.Uint64(b[:]), off + 6, nil
+}
+
+func readCaps(data []byte, off, n int) ([]uint64, int, error) {
+	if len(data) < off+8*n {
+		return nil, 0, ErrTruncated
+	}
+	if n == 0 {
+		return nil, off, nil
+	}
+	caps := make([]uint64, n)
+	for i := range caps {
+		caps[i] = binary.BigEndian.Uint64(data[off : off+8])
+		off += 8
+	}
+	return caps, off, nil
+}

@@ -1,0 +1,54 @@
+// Package pathid implements TVA's path identifiers (paper §3.2): each
+// router at the ingress of a trust boundary tags request packets with a
+// 16-bit value derived from the incoming interface, likely to be unique
+// across the boundary. The most recent tag names the fair queue a
+// request joins, so senders sharing an ingress share fate and bounded
+// tag space bounds queue state.
+package pathid
+
+import (
+	"encoding/binary"
+
+	"tva/internal/mac"
+	"tva/internal/packet"
+)
+
+// Tagger derives stable pseudo-random tags for a trust-boundary
+// router's interfaces.
+type Tagger struct {
+	k0, k1 uint64
+}
+
+// New returns a Tagger keyed with fresh random material; tags are
+// stable for the Tagger's lifetime (the paper's tags are configured or
+// pseudo-random per interface, changing only slowly).
+func New() *Tagger {
+	s := mac.NewSecret()
+	return &Tagger{
+		k0: binary.BigEndian.Uint64(s[0:8]),
+		k1: binary.BigEndian.Uint64(s[8:16]),
+	}
+}
+
+// NewSeeded returns a deterministic Tagger for tests and simulations.
+func NewSeeded(seed uint64) *Tagger {
+	return &Tagger{k0: seed, k1: seed ^ 0x9e3779b97f4a7c15}
+}
+
+// ForInterface returns the tag for an incoming interface index.
+func (t *Tagger) ForInterface(iface int) packet.PathID {
+	h := t.k0 ^ uint64(iface)
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h ^= t.k1
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 29
+	return packet.PathID(h)
+}
+
+// Stamp appends the tag for the incoming interface to a request's path
+// identifier list, in place. Routers not at trust boundaries do not
+// stamp (the upstream boundary already did).
+func Stamp(hdr *packet.CapHdr, tag packet.PathID) {
+	hdr.Request.PathIDs = append(hdr.Request.PathIDs, tag)
+}

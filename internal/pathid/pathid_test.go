@@ -1,0 +1,63 @@
+package pathid
+
+import (
+	"testing"
+
+	"tva/internal/packet"
+)
+
+func TestTagsDeterministic(t *testing.T) {
+	a := NewSeeded(1)
+	b := NewSeeded(1)
+	for i := 0; i < 100; i++ {
+		if a.ForInterface(i) != b.ForInterface(i) {
+			t.Fatalf("iface %d: same seed gave different tags", i)
+		}
+	}
+}
+
+func TestTagsVaryBySeed(t *testing.T) {
+	a, b := NewSeeded(1), NewSeeded(2)
+	same := 0
+	for i := 0; i < 256; i++ {
+		if a.ForInterface(i) == b.ForInterface(i) {
+			same++
+		}
+	}
+	if same > 3 {
+		t.Errorf("%d/256 tags collide across seeds; tags are not router-specific", same)
+	}
+}
+
+func TestTagsMostlyUniqueAcrossInterfaces(t *testing.T) {
+	// 16-bit tags over a few hundred interfaces: collisions possible
+	// but must be rare (birthday bound ≈ 0.5% pairwise for 200).
+	tag := NewSeeded(7)
+	seen := map[packet.PathID]bool{}
+	collisions := 0
+	for i := 0; i < 200; i++ {
+		id := tag.ForInterface(i)
+		if seen[id] {
+			collisions++
+		}
+		seen[id] = true
+	}
+	if collisions > 5 {
+		t.Errorf("%d collisions among 200 interfaces", collisions)
+	}
+}
+
+func TestRandomTaggerDistinct(t *testing.T) {
+	if New().ForInterface(0) == New().ForInterface(0) {
+		t.Error("two random taggers produced identical tags (improbable)")
+	}
+}
+
+func TestStampAppends(t *testing.T) {
+	h := &packet.CapHdr{Kind: packet.KindRequest}
+	Stamp(h, 10)
+	Stamp(h, 20)
+	if len(h.Request.PathIDs) != 2 || h.Request.PathIDs[0] != 10 || h.Request.PathIDs[1] != 20 {
+		t.Errorf("Stamp order wrong: %v", h.Request.PathIDs)
+	}
+}

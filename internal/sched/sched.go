@@ -1,0 +1,268 @@
+// Package sched defines the per-link output scheduler interface used by
+// the network simulator and the userspace overlay, and the three
+// schedulers the evaluation needs: TVA's three-class hierarchy
+// (Fig. 2), SIFF's two-level priority queue, and a plain drop-tail FIFO
+// for the legacy Internet.
+package sched
+
+import (
+	"tva/internal/fq"
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+// Scheduler is a link output queue. Enqueue classifies and stores a
+// packet (false = dropped). Dequeue returns the next packet to
+// transmit; when it returns nil with a non-zero time, the link should
+// retry at that time (a rate-limited class is the only backlog).
+type Scheduler interface {
+	Enqueue(pkt *packet.Packet, now tvatime.Time) bool
+	Dequeue(now tvatime.Time) (*packet.Packet, tvatime.Time)
+	Len() int
+}
+
+// DropCounter is implemented by schedulers that track drops.
+type DropCounter interface {
+	DropCount() uint64
+}
+
+// DropTail is a single FIFO for all classes: the legacy Internet
+// router, and also host egress queues.
+type DropTail struct {
+	q *fq.FIFO
+}
+
+// NewDropTail returns a FIFO scheduler with the given byte capacity.
+func NewDropTail(capBytes int) *DropTail {
+	return &DropTail{q: fq.NewFIFO(capBytes)}
+}
+
+// NewDropTailPkts returns a FIFO scheduler bounded by packet count,
+// matching ns-2's drop-tail queues (uniform per-packet loss).
+func NewDropTailPkts(capPkts int) *DropTail {
+	return &DropTail{q: fq.NewFIFOCount(capPkts)}
+}
+
+// Enqueue implements Scheduler.
+func (s *DropTail) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool { return s.q.Enqueue(pkt) }
+
+// Dequeue implements Scheduler.
+func (s *DropTail) Dequeue(_ tvatime.Time) (*packet.Packet, tvatime.Time) {
+	return s.q.Dequeue(), 0
+}
+
+// Len implements Scheduler.
+func (s *DropTail) Len() int { return s.q.Len() }
+
+// DropCount implements DropCounter.
+func (s *DropTail) DropCount() uint64 { return s.q.Drops }
+
+// TVAConfig parameterizes the TVA link scheduler.
+type TVAConfig struct {
+	// LinkBps is the outgoing link's capacity in bits/second.
+	LinkBps int64
+	// RequestFraction is the share of the link reserved as the ceiling
+	// for request traffic (paper default 5%; the simulations stress
+	// the design at 1%).
+	RequestFraction float64
+	// Quantum is the DRR quantum in bytes for regular traffic (>= MTU).
+	Quantum int
+	// RequestQuantum is the DRR quantum for the request class. Requests
+	// are small, so a small quantum keeps the round short and a newly
+	// backlogged path's request from waiting behind a burst from every
+	// other path.
+	RequestQuantum int
+	// RequestQueueBytes caps each per-path-identifier request queue.
+	RequestQueueBytes int
+	// RegularQueueBytes caps each per-destination regular queue.
+	RegularQueueBytes int
+	// LegacyQueueBytes caps the shared legacy/demoted FIFO.
+	LegacyQueueBytes int
+	// MaxRequestQueues bounds request queue state (tag space is 16
+	// bits; deployments configure something smaller).
+	MaxRequestQueues int
+	// MaxRegularQueues bounds per-destination queue state (the paper
+	// falls back on the flow-cache bound, §3.9).
+	MaxRegularQueues int
+}
+
+func (c *TVAConfig) fillDefaults() {
+	if c.RequestFraction <= 0 {
+		c.RequestFraction = 0.05
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 1500
+	}
+	if c.RequestQuantum <= 0 {
+		c.RequestQuantum = 256
+	}
+	if c.RequestQueueBytes <= 0 {
+		c.RequestQueueBytes = 8 * 1024
+	}
+	if c.RegularQueueBytes <= 0 {
+		c.RegularQueueBytes = 32 * 1024
+	}
+	if c.LegacyQueueBytes <= 0 {
+		c.LegacyQueueBytes = 32 * 1024
+	}
+	if c.MaxRequestQueues <= 0 {
+		c.MaxRequestQueues = 1 << 16
+	}
+	if c.MaxRegularQueues <= 0 {
+		c.MaxRegularQueues = 1 << 20
+	}
+}
+
+// TVA is the three-class scheduler of Fig. 2:
+//
+//   - requests: fair-queued per path identifier, rate-limited to a
+//     fixed fraction of the link;
+//   - regular (capability-carrying) packets: fair-queued per
+//     authorizing destination, using the remaining capacity;
+//   - legacy and demoted packets: lowest priority FIFO.
+type TVA struct {
+	cfg     TVAConfig
+	request *fq.DRR
+	regular *fq.DRR
+	legacy  *fq.FIFO
+	bucket  *fq.TokenBucket
+
+	// holdover buffers a request already selected by DRR that is
+	// waiting for rate-limit tokens.
+	holdover *packet.Packet
+
+	Drops uint64
+}
+
+// NewTVA returns a TVA link scheduler.
+func NewTVA(cfg TVAConfig) *TVA {
+	cfg.fillDefaults()
+	reqRate := int64(float64(cfg.LinkBps) * cfg.RequestFraction)
+	return &TVA{
+		cfg:     cfg,
+		request: fq.NewDRR(cfg.RequestQuantum, cfg.MaxRequestQueues, cfg.RequestQueueBytes),
+		regular: fq.NewDRR(cfg.Quantum, cfg.MaxRegularQueues, cfg.RegularQueueBytes),
+		legacy:  fq.NewFIFO(cfg.LegacyQueueBytes),
+		// Burst of ~3 MTUs keeps the limiter from quantizing small
+		// links too harshly while staying near the configured rate.
+		bucket: fq.NewTokenBucket(reqRate, 3*cfg.Quantum),
+	}
+}
+
+// requestKey selects the fair-queuing key for a request: the most
+// recent path identifier tag (§3.2). Untagged requests (from a host
+// directly attached to this router) share the zero queue.
+func requestKey(pkt *packet.Packet) uint64 {
+	if pkt.Hdr == nil || len(pkt.Hdr.Request.PathIDs) == 0 {
+		return 0
+	}
+	return uint64(pkt.Hdr.Request.PathIDs[len(pkt.Hdr.Request.PathIDs)-1])
+}
+
+// Enqueue implements Scheduler, classifying on pkt.Class (assigned by
+// router capability processing).
+func (s *TVA) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
+	var ok bool
+	switch pkt.Class {
+	case packet.ClassRequest:
+		ok = s.request.Enqueue(requestKey(pkt), pkt)
+	case packet.ClassRegular:
+		ok = s.regular.Enqueue(uint64(pkt.Dst), pkt)
+	default:
+		ok = s.legacy.Enqueue(pkt)
+	}
+	if !ok {
+		s.Drops++
+	}
+	return ok
+}
+
+// Dequeue implements Scheduler: requests first (within their rate
+// ceiling), then regular packets, then legacy.
+func (s *TVA) Dequeue(now tvatime.Time) (*packet.Packet, tvatime.Time) {
+	// Serve a request if the rate limit allows.
+	if s.holdover == nil && s.request.Len() > 0 {
+		s.holdover = s.request.Dequeue()
+	}
+	if s.holdover != nil && s.bucket.Allow(s.holdover.Size, now) {
+		pkt := s.holdover
+		s.holdover = nil
+		return pkt, 0
+	}
+	if pkt := s.regular.Dequeue(); pkt != nil {
+		return pkt, 0
+	}
+	if pkt := s.legacy.Dequeue(); pkt != nil {
+		return pkt, 0
+	}
+	if s.holdover != nil {
+		return nil, s.bucket.When(s.holdover.Size, now)
+	}
+	return nil, 0
+}
+
+// Len implements Scheduler.
+func (s *TVA) Len() int {
+	n := s.request.Len() + s.regular.Len() + s.legacy.Len()
+	if s.holdover != nil {
+		n++
+	}
+	return n
+}
+
+// DropCount implements DropCounter.
+func (s *TVA) DropCount() uint64 { return s.Drops }
+
+// LegacyDrops exposes drops in the legacy class (used in tests).
+func (s *TVA) LegacyDrops() uint64 { return s.legacy.Drops }
+
+// SIFF is the SIFF baseline scheduler: authorized (capability-carrying)
+// packets in a strict-priority FIFO over everything else; requests are
+// "treated as legacy traffic" (paper §5), so they share the low queue
+// with legacy packets.
+type SIFF struct {
+	high *fq.FIFO
+	low  *fq.FIFO
+
+	Drops uint64
+}
+
+// NewSIFF returns a SIFF scheduler with the given per-class packet
+// caps (ns-style packet-count queues).
+func NewSIFF(highPkts, lowPkts int) *SIFF {
+	if highPkts <= 0 {
+		highPkts = 100
+	}
+	if lowPkts <= 0 {
+		lowPkts = 50
+	}
+	return &SIFF{high: fq.NewFIFOCount(highPkts), low: fq.NewFIFOCount(lowPkts)}
+}
+
+// Enqueue implements Scheduler.
+func (s *SIFF) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
+	var ok bool
+	if pkt.Class == packet.ClassRegular {
+		ok = s.high.Enqueue(pkt)
+	} else {
+		ok = s.low.Enqueue(pkt)
+	}
+	if !ok {
+		s.Drops++
+	}
+	return ok
+}
+
+// Dequeue implements Scheduler.
+func (s *SIFF) Dequeue(_ tvatime.Time) (*packet.Packet, tvatime.Time) {
+	if pkt := s.high.Dequeue(); pkt != nil {
+		return pkt, 0
+	}
+	return s.low.Dequeue(), 0
+}
+
+// Len implements Scheduler.
+func (s *SIFF) Len() int { return s.high.Len() + s.low.Len() }
+
+// DropCount implements DropCounter.
+func (s *SIFF) DropCount() uint64 { return s.Drops }

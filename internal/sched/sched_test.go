@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"testing"
+
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+func reqPkt(path packet.PathID, size int) *packet.Packet {
+	h := &packet.CapHdr{Kind: packet.KindRequest}
+	if path != 0 {
+		h.Request.PathIDs = []packet.PathID{path}
+	}
+	return &packet.Packet{Size: size, Class: packet.ClassRequest, Hdr: h}
+}
+
+func regPkt(dst packet.Addr, size int) *packet.Packet {
+	return &packet.Packet{Dst: dst, Size: size, Class: packet.ClassRegular,
+		Hdr: &packet.CapHdr{Kind: packet.KindNonceOnly}}
+}
+
+func legPkt(size int) *packet.Packet {
+	return &packet.Packet{Size: size, Class: packet.ClassLegacy}
+}
+
+func TestTVAClassPriority(t *testing.T) {
+	s := NewTVA(TVAConfig{LinkBps: 10_000_000, RequestFraction: 0.05})
+	now := tvatime.Time(0)
+	s.Enqueue(legPkt(1000), now)
+	s.Enqueue(regPkt(1, 1000), now)
+	s.Enqueue(reqPkt(7, 100), now)
+
+	p, _ := s.Dequeue(now)
+	if p == nil || p.Class != packet.ClassRequest {
+		t.Fatalf("first dequeue = %v, want request", p)
+	}
+	p, _ = s.Dequeue(now)
+	if p == nil || p.Class != packet.ClassRegular {
+		t.Fatalf("second dequeue = %v, want regular", p)
+	}
+	p, _ = s.Dequeue(now)
+	if p == nil || p.Class != packet.ClassLegacy {
+		t.Fatalf("third dequeue = %v, want legacy", p)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestTVARequestRateLimit(t *testing.T) {
+	// 1% of 10 Mb/s = 100 kb/s = 12.5 KB/s for requests. With no other
+	// traffic, a backlog of requests must drain at about that rate.
+	s := NewTVA(TVAConfig{LinkBps: 10_000_000, RequestFraction: 0.01,
+		RequestQueueBytes: 1 << 20})
+	now := tvatime.Time(0)
+	for i := 0; i < 1000; i++ {
+		if !s.Enqueue(reqPkt(1, 125), now) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	served := 0
+	end := now.Add(10 * tvatime.Second)
+	for now < end {
+		p, retry := s.Dequeue(now)
+		if p != nil {
+			served += p.Size
+			continue
+		}
+		if retry == 0 {
+			break
+		}
+		now = retry
+	}
+	// Expect ≈ 125 KB served over 10s (+ burst allowance).
+	if served < 100_000 || served > 160_000 {
+		t.Errorf("request bytes served in 10s = %d, want ≈125000", served)
+	}
+}
+
+func TestTVARequestsDoNotStarveRegular(t *testing.T) {
+	// With request backlog but no tokens, regular traffic must flow.
+	s := NewTVA(TVAConfig{LinkBps: 10_000_000, RequestFraction: 0.01})
+	now := tvatime.Time(0)
+	// Drain the initial token burst.
+	for i := 0; i < 100; i++ {
+		s.Enqueue(reqPkt(1, 1000), now)
+	}
+	for {
+		p, _ := s.Dequeue(now)
+		if p == nil {
+			break
+		}
+		if p.Class != packet.ClassRequest {
+			t.Fatal("unexpected class while draining burst")
+		}
+	}
+	s.Enqueue(regPkt(2, 1000), now)
+	p, _ := s.Dequeue(now)
+	if p == nil || p.Class != packet.ClassRegular {
+		t.Fatalf("regular packet blocked behind rate-limited requests: %v", p)
+	}
+}
+
+func TestTVADequeueRetryTime(t *testing.T) {
+	s := NewTVA(TVAConfig{LinkBps: 10_000_000, RequestFraction: 0.01})
+	now := tvatime.Time(0)
+	for i := 0; i < 100; i++ {
+		s.Enqueue(reqPkt(1, 1000), now)
+	}
+	var retry tvatime.Time
+	for {
+		p, r := s.Dequeue(now)
+		if p == nil {
+			retry = r
+			break
+		}
+	}
+	if retry <= now {
+		t.Fatalf("expected a retry time for rate-limited backlog, got %v", retry)
+	}
+	// At the retry time the packet must be released.
+	p, _ := s.Dequeue(retry)
+	if p == nil {
+		t.Error("packet not released at the promised retry time")
+	}
+}
+
+func TestTVAPerDestinationFairness(t *testing.T) {
+	// Two destinations, one with a huge backlog: service alternates so
+	// each destination gets about half the bytes (Fig. 2 / §3.9).
+	s := NewTVA(TVAConfig{LinkBps: 10_000_000, RegularQueueBytes: 1 << 20})
+	now := tvatime.Time(0)
+	for i := 0; i < 500; i++ {
+		s.Enqueue(regPkt(1, 1000), now)
+		s.Enqueue(regPkt(2, 1000), now)
+	}
+	bytes := map[packet.Addr]int{}
+	for i := 0; i < 400; i++ {
+		p, _ := s.Dequeue(now)
+		bytes[p.Dst] += p.Size
+	}
+	if bytes[1] < 150_000 || bytes[2] < 150_000 {
+		t.Errorf("per-destination shares unfair: %v", bytes)
+	}
+}
+
+func TestTVARequestPathIsolation(t *testing.T) {
+	// Queue caps apply per path identifier: one flooding path cannot
+	// push another path's requests out.
+	s := NewTVA(TVAConfig{LinkBps: 10_000_000, RequestQueueBytes: 2000})
+	now := tvatime.Time(0)
+	for i := 0; i < 100; i++ {
+		s.Enqueue(reqPkt(1, 1000), now) // flooding path: mostly dropped
+	}
+	if !s.Enqueue(reqPkt(2, 100), now) {
+		t.Error("victim path's request dropped because of another path's flood")
+	}
+}
+
+func TestSIFFPriority(t *testing.T) {
+	s := NewSIFF(10, 10)
+	now := tvatime.Time(0)
+	s.Enqueue(legPkt(100), now)
+	s.Enqueue(regPkt(1, 100), now)
+	p, _ := s.Dequeue(now)
+	if p.Class != packet.ClassRegular {
+		t.Error("SIFF must serve authorized traffic first")
+	}
+	p, _ = s.Dequeue(now)
+	if p.Class != packet.ClassLegacy {
+		t.Error("legacy packet lost")
+	}
+}
+
+func TestSIFFLowClassSharedByRequests(t *testing.T) {
+	// Requests and legacy share the low queue: filling it with legacy
+	// drops requests (the SIFF weakness TVA fixes).
+	s := NewSIFF(10, 2)
+	now := tvatime.Time(0)
+	s.Enqueue(legPkt(100), now)
+	s.Enqueue(legPkt(100), now)
+	req := reqPkt(1, 50)
+	req.Class = packet.ClassLegacy // SIFF routers classify requests as legacy
+	if s.Enqueue(req, now) {
+		t.Error("request admitted past the shared low-queue cap")
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	s := NewDropTailPkts(2)
+	now := tvatime.Time(0)
+	if !s.Enqueue(legPkt(1), now) || !s.Enqueue(legPkt(1), now) {
+		t.Fatal("enqueue failed")
+	}
+	if s.Enqueue(legPkt(1), now) {
+		t.Error("drop-tail over capacity")
+	}
+	if s.DropCount() != 1 {
+		t.Errorf("DropCount = %d, want 1", s.DropCount())
+	}
+	p, retry := s.Dequeue(now)
+	if p == nil || retry != 0 {
+		t.Error("dequeue failed")
+	}
+}
+
+func TestTVADropCount(t *testing.T) {
+	s := NewTVA(TVAConfig{LinkBps: 10_000_000, LegacyQueueBytes: 1000})
+	now := tvatime.Time(0)
+	s.Enqueue(legPkt(800), now)
+	s.Enqueue(legPkt(800), now)
+	if s.DropCount() != 1 {
+		t.Errorf("DropCount = %d, want 1", s.DropCount())
+	}
+}

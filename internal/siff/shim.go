@@ -1,0 +1,205 @@
+// SIFF host shim: the sender-side of the SIFF handshake. Unlike TVA
+// there is no renewal, no flow nonce (every authorized packet carries
+// the full mark list), and no demotion signal: invalid packets vanish,
+// so the sender falls back to requesting when the path goes silent or
+// its marks are older than the secret rotation guarantees.
+package siff
+
+import (
+	"math/rand"
+
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+// ShimConfig parameterizes SIFF host behaviour.
+type ShimConfig struct {
+	// SecretPeriod is the sender's assumption about router rotation;
+	// marks older than this are presumed dead (default 3s).
+	SecretPeriod tvatime.Duration
+	// SilenceTimeout re-requests when packets have been sent but
+	// nothing has been heard from the peer for this long (default 1s):
+	// the sender's only signal that its marks died mid-epoch.
+	SilenceTimeout tvatime.Duration
+	// AutoReturn mirrors core.ShimConfig.AutoReturn.
+	AutoReturn bool
+}
+
+func (c ShimConfig) withDefaults() ShimConfig {
+	if c.SecretPeriod <= 0 {
+		c.SecretPeriod = DefaultSecretPeriod
+	}
+	if c.SilenceTimeout <= 0 {
+		c.SilenceTimeout = tvatime.Second
+	}
+	return c
+}
+
+type sendState struct {
+	granted        bool
+	caps           []uint64
+	grantedAt      tvatime.Time
+	heard          bool
+	lastHeard      tvatime.Time
+	sentSinceHeard int
+}
+
+// Policy mirrors core.Policy but SIFF grants are binary (no N/T).
+type Policy interface {
+	Authorize(src packet.Addr, now tvatime.Time) (ok bool)
+}
+
+// PolicyFunc adapts a function to Policy.
+type PolicyFunc func(src packet.Addr, now tvatime.Time) bool
+
+// Authorize implements Policy.
+func (f PolicyFunc) Authorize(src packet.Addr, now tvatime.Time) bool { return f(src, now) }
+
+// ShimStats counts shim activity.
+type ShimStats struct {
+	RequestsSent   uint64
+	RegularSent    uint64
+	GrantsReceived uint64
+	GrantsIssued   uint64
+	ReRequests     uint64
+}
+
+// Shim is one host's SIFF layer.
+type Shim struct {
+	cfg    ShimConfig
+	addr   packet.Addr
+	clock  tvatime.Clock
+	rng    *rand.Rand
+	policy Policy
+
+	Output  func(pkt *packet.Packet)
+	Deliver func(src packet.Addr, proto packet.Proto, payload any, size int, demoted bool)
+
+	sends   map[packet.Addr]*sendState
+	pending map[packet.Addr]*packet.ReturnInfo
+
+	Stats ShimStats
+}
+
+// NewShim builds a SIFF host shim.
+func NewShim(addr packet.Addr, policy Policy, clock tvatime.Clock, rng *rand.Rand, cfg ShimConfig) *Shim {
+	return &Shim{
+		cfg:     cfg.withDefaults(),
+		addr:    addr,
+		clock:   clock,
+		rng:     rng,
+		policy:  policy,
+		sends:   make(map[packet.Addr]*sendState),
+		pending: make(map[packet.Addr]*packet.ReturnInfo),
+	}
+}
+
+// HasCaps reports whether the shim holds (presumed live) marks for dst.
+func (s *Shim) HasCaps(dst packet.Addr) bool {
+	st := s.sends[dst]
+	return st != nil && st.granted
+}
+
+// Send wraps an upper-layer payload toward dst.
+func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) {
+	now := s.clock.Now()
+	h := &packet.CapHdr{Proto: proto}
+	st := s.sends[dst]
+
+	if st != nil && st.granted {
+		stale := now.Sub(st.grantedAt) >= s.cfg.SecretPeriod
+		silent := st.sentSinceHeard > 0 && st.heard &&
+			now.Sub(st.lastHeard) > s.cfg.SilenceTimeout
+		if stale || silent {
+			st.granted = false
+			s.Stats.ReRequests++
+		}
+	}
+
+	if st != nil && st.granted {
+		h.Kind = packet.KindRegular
+		h.Caps = append([]uint64(nil), st.caps...)
+		st.sentSinceHeard++
+		s.Stats.RegularSent++
+	} else {
+		h.Kind = packet.KindRequest
+		s.Stats.RequestsSent++
+	}
+
+	if ret := s.pending[dst]; ret != nil {
+		h.Return = ret
+		delete(s.pending, dst)
+	}
+
+	pkt := &packet.Packet{
+		Src:   s.addr,
+		Dst:   dst,
+		TTL:   64,
+		Proto: proto,
+		Hdr:   h,
+	}
+	pkt.Size = packet.OuterHdrLen + h.WireSize() + size
+	pkt.Payload = payload
+	s.Output(pkt)
+}
+
+// Receive processes an incoming packet.
+func (s *Shim) Receive(pkt *packet.Packet) {
+	now := s.clock.Now()
+	h := pkt.Hdr
+	if h == nil {
+		if s.Deliver != nil {
+			s.Deliver(pkt.Src, pkt.Proto, pkt.Payload, pkt.Size, false)
+		}
+		return
+	}
+	if st := s.sends[pkt.Src]; st != nil {
+		st.heard = true
+		st.lastHeard = now
+		st.sentSinceHeard = 0
+	}
+	if h.Return != nil && h.Return.Grant != nil {
+		if len(h.Return.Grant.Caps) > 0 {
+			s.Stats.GrantsReceived++
+			s.sends[pkt.Src] = &sendState{
+				granted:   true,
+				caps:      append([]uint64(nil), h.Return.Grant.Caps...),
+				grantedAt: now,
+				heard:     true,
+				lastHeard: now,
+			}
+		}
+	}
+	if h.Kind == packet.KindRequest && h.Proto != packet.ProtoControl &&
+		len(h.Request.PreCaps) > 0 && s.policy != nil {
+		if s.policy.Authorize(pkt.Src, now) {
+			s.Stats.GrantsIssued++
+			s.pendingFor(pkt.Src).Grant = &packet.Grant{
+				Caps: append([]uint64(nil), h.Request.PreCaps...),
+			}
+		}
+	}
+	if s.Deliver != nil && h.Proto != packet.ProtoControl {
+		s.Deliver(pkt.Src, h.Proto, pkt.Payload, pkt.Size, false)
+	}
+	if s.cfg.AutoReturn {
+		if ret := s.pending[pkt.Src]; ret != nil && ret.Grant != nil {
+			s.Send(pkt.Src, packet.ProtoControl, nil, 0)
+		}
+	}
+}
+
+func (s *Shim) pendingFor(dst packet.Addr) *packet.ReturnInfo {
+	r := s.pending[dst]
+	if r == nil {
+		r = &packet.ReturnInfo{}
+		s.pending[dst] = r
+	}
+	return r
+}
+
+// Forget drops any marks held toward dst, forcing the next packet to
+// re-request. The evaluation uses it to model per-connection SIFF
+// handshakes (each transfer's SYN carries a request, matching the
+// paper's 1-p^9 completion model in §5.1).
+func (s *Shim) Forget(dst packet.Addr) { delete(s.sends, dst) }

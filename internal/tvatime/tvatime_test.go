@@ -1,0 +1,61 @@
+package tvatime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConversions(t *testing.T) {
+	tm := FromSeconds(1.5)
+	if tm.Seconds() != 1 {
+		t.Errorf("Seconds = %d, want 1 (truncated)", tm.Seconds())
+	}
+	if tm.SecondsF() != 1.5 {
+		t.Errorf("SecondsF = %f, want 1.5", tm.SecondsF())
+	}
+	if tm.Add(500*Millisecond) != FromSeconds(2) {
+		t.Error("Add wrong")
+	}
+	if FromSeconds(3).Sub(FromSeconds(1)) != 2*Second {
+		t.Error("Sub wrong")
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	a, b := FromSeconds(1), FromSeconds(2)
+	if !a.Before(b) || a.After(b) || b.Before(a) || !b.After(a) {
+		t.Error("ordering inconsistent")
+	}
+	if a.Before(a) || a.After(a) {
+		t.Error("time is before/after itself")
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(base int64, d int32) bool {
+		tm := Time(base)
+		dd := Duration(d)
+		return tm.Add(dd).Sub(tm) == dd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockFunc(t *testing.T) {
+	var c Clock = ClockFunc(func() Time { return 42 })
+	if c.Now() != 42 {
+		t.Error("ClockFunc broken")
+	}
+}
+
+func TestWallClockMonotoneEnough(t *testing.T) {
+	var w WallClock
+	a := w.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := w.Now()
+	if !b.After(a) {
+		t.Error("wall clock did not advance")
+	}
+}
