@@ -1,0 +1,24 @@
+GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench writes a machine-readable snapshot (Table 1 ns/op + allocs/op,
+# Fig. 12 peak kpps, scenario completion fractions) keyed by revision.
+bench:
+	go run ./cmd/tvabench -label $(GIT_SHA)
+
+check: build vet test race

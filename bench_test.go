@@ -49,6 +49,7 @@ func BenchmarkTable1_RenewalNoEntry(b *testing.B)   { benchTable1(b, overlay.Kin
 
 func benchFig12(b *testing.B, kind overlay.PacketKind) {
 	var out float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		w := overlay.NewWorkload(kind, capability.Crypto)
 		out = overlay.MeasureForwarding(w, 4_000_000, 150*time.Millisecond)
@@ -70,6 +71,7 @@ const benchSimSeconds = 12 * time.Second
 
 func benchScenario(b *testing.B, scheme tva.Scheme, attack tva.Attack, attackers int) {
 	var res *tva.SimResult
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = tva.RunSim(tva.SimConfig{
 			Scheme:       scheme,
@@ -117,6 +119,7 @@ func BenchmarkFig10_AuthorizedFlood_SIFF(b *testing.B) {
 
 func BenchmarkFig11_ImpreciseAuth_TVA(b *testing.B) {
 	var res *tva.SimResult
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = tva.RunSim(tva.SimConfig{
 			Scheme:       tva.SchemeTVA,
@@ -134,6 +137,7 @@ func BenchmarkFig11_ImpreciseAuth_TVA(b *testing.B) {
 
 func BenchmarkFig11_ImpreciseAuth_SIFF(b *testing.B) {
 	var res *tva.SimResult
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res = tva.RunSim(tva.SimConfig{
 			Scheme:       tva.SchemeSIFF,
@@ -185,6 +189,7 @@ func BenchmarkAblation_NonceCache(b *testing.B) {
 		b.Run(c.name, func(b *testing.B) {
 			w := overlay.NewWorkload(c.kind, capability.Crypto)
 			now := tvatime.WallClock{}.Now()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				w.ForwardOne(now)

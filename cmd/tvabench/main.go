@@ -4,24 +4,65 @@
 //	tvabench -table 1   # per-packet-type processing time  (Table 1)
 //	tvabench -fig 12    # peak output rate vs input rate    (Fig. 12)
 //	tvabench -all
+//	tvabench -all -label abc123   # also write BENCH_abc123.json
 //
 // Absolute numbers differ from the paper's 3.2 GHz Xeon kernel module;
 // the orderings (regular-with-entry cheapest, renewal-without-entry
 // most expensive, throughput plateaus per type) are the reproduced
 // result. Use -suite crypto for the paper's AES+SHA1 construction.
+//
+// With -label (or -json), a machine-readable BENCH_<label>.json
+// snapshot is written containing Table 1 ns/op and allocs/op, Fig. 12
+// peak kpps per packet type, and scenario completion fractions from a
+// parallel simulation sweep — the regression record the Makefile's
+// bench target commits per git revision.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
 	"tva/internal/capability"
+	"tva/internal/exp"
 	"tva/internal/overlay"
 	"tva/internal/tvatime"
 )
+
+// benchSnapshot is the BENCH_<label>.json schema.
+type benchSnapshot struct {
+	Label     string        `json:"label"`
+	Suite     string        `json:"suite"`
+	GoVersion string        `json:"go_version"`
+	Table1    []table1Row   `json:"table1"`
+	Fig12     []fig12Row    `json:"fig12"`
+	Scenarios []scenarioRow `json:"scenarios"`
+}
+
+type table1Row struct {
+	Kind        string  `json:"kind"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type fig12Row struct {
+	Kind       string  `json:"kind"`
+	InputPPS   int     `json:"input_pps"`
+	OutputKpps float64 `json:"output_kpps"`
+}
+
+type scenarioRow struct {
+	Scheme     string  `json:"scheme"`
+	Attack     string  `json:"attack"`
+	Attackers  int     `json:"attackers"`
+	Completion float64 `json:"completion_fraction"`
+	AvgXferSec float64 `json:"avg_transfer_sec"`
+}
 
 func main() {
 	table := flag.Int("table", 0, "table to regenerate (1)")
@@ -29,6 +70,10 @@ func main() {
 	all := flag.Bool("all", false, "regenerate Table 1 and Fig. 12")
 	suiteName := flag.String("suite", "crypto", "hash suite: crypto (AES+SHA1, as the paper) or fast")
 	dur := flag.Duration("dur", 300*time.Millisecond, "measurement window per Fig. 12 point")
+	label := flag.String("label", "", "write a BENCH_<label>.json snapshot (implies -all)")
+	jsonPath := flag.String("json", "", "snapshot output path (default BENCH_<label>.json)")
+	workers := flag.Int("workers", 0, "parallel workers for the snapshot's scenario sweep (0 = GOMAXPROCS)")
+	simSec := flag.Float64("sim-duration", 12, "simulated seconds per snapshot scenario run")
 	flag.Parse()
 
 	var suite capability.Suite
@@ -40,6 +85,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suiteName)
 		os.Exit(2)
+	}
+
+	if *label != "" || *jsonPath != "" {
+		if err := writeSnapshot(suite, *label, *jsonPath, *dur, *workers, *simSec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *all || *table == 1 {
@@ -54,6 +107,30 @@ func main() {
 	}
 }
 
+// measureTable1 benchmarks every packet kind through the forwarding
+// path, reporting ns/op and allocation counts.
+func measureTable1(suite capability.Suite) []table1Row {
+	rows := make([]table1Row, 0, len(overlay.Kinds))
+	for _, kind := range overlay.Kinds {
+		w := overlay.NewWorkload(kind, suite)
+		res := testing.Benchmark(func(b *testing.B) {
+			now := tvatime.WallClock{}.Now()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.ForwardOne(now)
+			}
+		})
+		rows = append(rows, table1Row{
+			Kind:        kind.String(),
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+	return rows
+}
+
 // table1 measures the per-packet processing cost of each packet type
 // through the full forwarding path (Table 1's rows). Paper values on
 // a 3.2 GHz Xeon, for comparison: request 460 ns, regular w/ entry
@@ -61,17 +138,9 @@ func main() {
 // w/o entry 1821 ns.
 func table1(suite capability.Suite) {
 	fmt.Printf("# Table 1: processing overhead of different types of packets (suite=%s)\n", suite.Name)
-	fmt.Printf("%-22s %14s\n", "packet type", "ns/packet")
-	for _, kind := range overlay.Kinds {
-		w := overlay.NewWorkload(kind, suite)
-		res := testing.Benchmark(func(b *testing.B) {
-			now := tvatime.WallClock{}.Now()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				w.ForwardOne(now)
-			}
-		})
-		fmt.Printf("%-22s %14d\n", kind, res.NsPerOp())
+	fmt.Printf("%-22s %14s %12s\n", "packet type", "ns/packet", "allocs/pkt")
+	for _, row := range measureTable1(suite) {
+		fmt.Printf("%-22s %14.1f %12d\n", row.Kind, row.NsPerOp, row.AllocsPerOp)
 	}
 	fmt.Println()
 }
@@ -96,4 +165,70 @@ func fig12(suite capability.Suite, dur time.Duration) {
 		fmt.Println()
 	}
 	fmt.Println()
+}
+
+// snapshotSaturatingPPS is the offered load for the snapshot's Fig. 12
+// point: far beyond any kind's service rate, so the measured output is
+// the peak forwarding rate.
+const snapshotSaturatingPPS = 8_000_000
+
+// writeSnapshot measures everything and writes BENCH_<label>.json.
+func writeSnapshot(suite capability.Suite, label, path string, dur time.Duration, workers int, simSec float64) error {
+	if label == "" {
+		label = "local"
+	}
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", label)
+	}
+	snap := benchSnapshot{
+		Label:     label,
+		Suite:     suite.Name,
+		GoVersion: runtime.Version(),
+	}
+
+	fmt.Fprintf(os.Stderr, "tvabench: Table 1 (suite=%s)...\n", suite.Name)
+	snap.Table1 = measureTable1(suite)
+
+	fmt.Fprintln(os.Stderr, "tvabench: Fig. 12 peak rates...")
+	for _, kind := range overlay.Kinds {
+		w := overlay.NewWorkload(kind, suite)
+		out := overlay.MeasureForwarding(w, snapshotSaturatingPPS, dur)
+		snap.Fig12 = append(snap.Fig12, fig12Row{
+			Kind:       kind.String(),
+			InputPPS:   snapshotSaturatingPPS,
+			OutputKpps: out / 1000,
+		})
+	}
+
+	fmt.Fprintln(os.Stderr, "tvabench: scenario sweep...")
+	simDur := tvatime.FromSeconds(simSec).Sub(0)
+	spec := exp.SweepSpec{
+		Base: exp.Config{Duration: simDur, Seed: 1},
+		Schemes: []exp.Scheme{
+			exp.SchemeInternet, exp.SchemeSIFF, exp.SchemePushback, exp.SchemeTVA,
+		},
+		Attacks:   []exp.Attack{exp.AttackLegacyFlood},
+		Attackers: []int{100},
+	}
+	cfgs := spec.Expand()
+	for _, res := range exp.RunMany(cfgs, workers) {
+		snap.Scenarios = append(snap.Scenarios, scenarioRow{
+			Scheme:     res.Cfg.Scheme.String(),
+			Attack:     res.Cfg.Attack.String(),
+			Attackers:  res.Cfg.NumAttackers,
+			Completion: res.CompletionFraction(),
+			AvgXferSec: res.AvgTransferTime(),
+		})
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }

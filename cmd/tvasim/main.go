@@ -29,6 +29,7 @@ func main() {
 	attackersFlag := flag.String("attackers", "1,2,5,10,20,40,70,100", "attacker counts for figs 8-10")
 	durationSec := flag.Float64("duration", 120, "simulated seconds per run")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS); results are identical at any worker count")
 	flag.Parse()
 
 	schemes, err := parseSchemes(*schemesFlag)
@@ -50,13 +51,13 @@ func main() {
 	for _, f := range figs {
 		switch f {
 		case "8":
-			sweepFigure("Figure 8: legacy traffic flood", exp.AttackLegacyFlood, schemes, counts, dur, *seed)
+			sweepFigure("Figure 8: legacy traffic flood", exp.AttackLegacyFlood, schemes, counts, dur, *seed, *workers)
 		case "9":
-			sweepFigure("Figure 9: request packet flood", exp.AttackRequestFlood, schemes, counts, dur, *seed)
+			sweepFigure("Figure 9: request packet flood", exp.AttackRequestFlood, schemes, counts, dur, *seed, *workers)
 		case "10":
-			sweepFigure("Figure 10: authorized traffic flood (colluder)", exp.AttackAuthorizedFlood, schemes, counts, dur, *seed)
+			sweepFigure("Figure 10: authorized traffic flood (colluder)", exp.AttackAuthorizedFlood, schemes, counts, dur, *seed, *workers)
 		case "11":
-			figure11(schemes, dur, *seed)
+			figure11(schemes, dur, *seed, *workers)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", f)
 			os.Exit(2)
@@ -96,18 +97,28 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func sweepFigure(title string, attack exp.Attack, schemes []exp.Scheme, counts []int, dur tvatime.Duration, seed int64) {
-	fmt.Printf("# %s\n", title)
-	fmt.Printf("%-10s %10s %12s %14s\n", "scheme", "attackers", "completion", "xfer-time(s)")
+func sweepFigure(title string, attack exp.Attack, schemes []exp.Scheme, counts []int, dur tvatime.Duration, seed int64, workers int) {
+	cfgs := make([]exp.Config, 0, len(schemes)*len(counts))
 	for _, scheme := range schemes {
 		for _, k := range counts {
-			res := exp.Run(exp.Config{
+			cfgs = append(cfgs, exp.Config{
 				Scheme:       scheme,
 				Attack:       attack,
 				NumAttackers: k,
 				Duration:     dur,
 				Seed:         seed,
 			})
+		}
+	}
+	results := exp.RunMany(cfgs, workers)
+
+	fmt.Printf("# %s\n", title)
+	fmt.Printf("%-10s %10s %12s %14s\n", "scheme", "attackers", "completion", "xfer-time(s)")
+	i := 0
+	for _, scheme := range schemes {
+		for _, k := range counts {
+			res := results[i]
+			i++
 			fmt.Printf("%-10s %10d %12.3f %14.3f\n",
 				scheme, k, res.CompletionFraction(), res.AvgTransferTime())
 		}
@@ -119,18 +130,18 @@ func sweepFigure(title string, attack exp.Attack, schemes []exp.Scheme, counts [
 // high-intensity (all at once) and low-intensity (10 at a time)
 // imprecise-authorization attacks, for TVA and SIFF (the schemes in
 // the paper's Fig. 11).
-func figure11(schemes []exp.Scheme, dur tvatime.Duration, seed int64) {
+func figure11(schemes []exp.Scheme, dur tvatime.Duration, seed int64, workers int) {
 	fmt.Println("# Figure 11: imprecise authorization (100 attackers granted 32KB/10s once; attack at t=10s)")
+	groupings := []int{1, 10}
+	var cfgs []exp.Config
+	var plotted []exp.Scheme
 	for _, scheme := range schemes {
 		if scheme != exp.SchemeTVA && scheme != exp.SchemeSIFF {
 			continue
 		}
-		for _, groups := range []int{1, 10} {
-			label := "all-at-once"
-			if groups > 1 {
-				label = "10-at-a-time"
-			}
-			res := exp.Run(exp.Config{
+		plotted = append(plotted, scheme)
+		for _, groups := range groupings {
+			cfgs = append(cfgs, exp.Config{
 				Scheme:       scheme,
 				Attack:       exp.AttackImpreciseAuth,
 				NumAttackers: 100,
@@ -139,6 +150,18 @@ func figure11(schemes []exp.Scheme, dur tvatime.Duration, seed int64) {
 				Duration:     dur,
 				Seed:         seed,
 			})
+		}
+	}
+	results := exp.RunMany(cfgs, workers)
+	i := 0
+	for _, scheme := range plotted {
+		for _, groups := range groupings {
+			label := "all-at-once"
+			if groups > 1 {
+				label = "10-at-a-time"
+			}
+			res := results[i]
+			i++
 			fmt.Printf("%-6s %-13s completion=%.3f avg=%.3fs\n",
 				scheme, label, res.CompletionFraction(), res.AvgTransferTime())
 			starts, durs := res.Series()

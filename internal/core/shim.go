@@ -134,10 +134,14 @@ func (s *Shim) HasCaps(dst packet.Addr) bool {
 }
 
 // Send wraps an upper-layer payload toward dst and transmits it. size
-// is the payload's wire size in bytes (e.g. seg.WireLen()).
+// is the payload's wire size in bytes (e.g. seg.WireLen()). Packets
+// come from the packet pool; ownership passes to Output, and the
+// terminal consumer (drop point or destination) releases them.
 func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) {
 	now := s.clock.Now()
-	h := &packet.CapHdr{Proto: proto}
+	pkt := packet.AcquirePacket()
+	h := pkt.NewHdr()
+	h.Proto = proto
 	st := s.sends[dst]
 
 	switch {
@@ -154,13 +158,10 @@ func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) 
 		s.Stats.ReturnsCarried++
 	}
 
-	pkt := &packet.Packet{
-		Src:   s.addr,
-		Dst:   dst,
-		TTL:   64,
-		Proto: proto,
-		Hdr:   h,
-	}
+	pkt.Src = s.addr
+	pkt.Dst = dst
+	pkt.TTL = 64
+	pkt.Proto = proto
 	pkt.Size = packet.OuterHdrLen + h.WireSize() + size
 	pkt.Payload = payload
 
@@ -172,8 +173,19 @@ func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) 
 	s.Output(pkt)
 }
 
+// pathPreCaps is the pre-capability (and path identifier) list
+// capacity preallocated on requests, sized to a typical path length so
+// routers appending their stamps do not reallocate per hop.
+const pathPreCaps = 8
+
 func (s *Shim) makeRequest(dst packet.Addr, h *packet.CapHdr, now tvatime.Time) {
 	h.Kind = packet.KindRequest
+	if cap(h.Request.PreCaps) == 0 {
+		h.Request.PreCaps = make([]uint64, 0, pathPreCaps)
+	}
+	if cap(h.Request.PathIDs) == 0 {
+		h.Request.PathIDs = make([]packet.PathID, 0, pathPreCaps)
+	}
 	s.Stats.RequestsSent++
 	if oa, ok := s.policy.(OutboundAware); ok {
 		oa.NoteOutboundRequest(dst, now)
@@ -203,13 +215,13 @@ func (s *Shim) fillGranted(dst packet.Addr, st *sendState, h *packet.CapHdr, siz
 	switch {
 	case renew:
 		h.Kind = packet.KindRenewal
-		h.Caps = append([]uint64(nil), st.caps...)
+		h.Caps = append(h.Caps[:0], st.caps...)
 		h.NKB, h.TSec = st.nkb, st.tsec
 		st.capsSent++
 		s.Stats.RenewalsSent++
 	case attachCaps:
 		h.Kind = packet.KindRegular
-		h.Caps = append([]uint64(nil), st.caps...)
+		h.Caps = append(h.Caps[:0], st.caps...)
 		h.NKB, h.TSec = st.nkb, st.tsec
 		st.capsSent++
 		s.Stats.RegularSent++

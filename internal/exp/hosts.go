@@ -73,6 +73,7 @@ func newTVAHost(sim *netsim.Sim, name string, addr packet.Addr, policy core.Poli
 	h.hasCaps = shim.HasCaps
 	h.node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, _ *netsim.Iface) {
 		shim.Receive(pkt)
+		packet.Release(pkt)
 	})
 	return h
 }
@@ -112,6 +113,7 @@ func newSIFFHost(sim *netsim.Sim, name string, addr packet.Addr, policy core.Pol
 	h.beforeTransfer = shim.Forget
 	h.node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, _ *netsim.Iface) {
 		shim.Receive(pkt)
+		packet.Release(pkt)
 	})
 	return h
 }
@@ -121,27 +123,28 @@ func newSIFFHost(sim *netsim.Sim, name string, addr packet.Addr, policy core.Pol
 func newPlainHost(sim *netsim.Sim, name string, addr packet.Addr) *host {
 	h := &host{addr: addr, node: sim.NewNode(name)}
 	h.stack = newTCPStack(sim, addr, func(dst packet.Addr, seg *tcp.Segment) {
-		h.node.Send(&packet.Packet{
-			Src:     addr,
-			Dst:     dst,
-			TTL:     64,
-			Proto:   packet.ProtoTCP,
-			Size:    packet.OuterHdrLen + seg.WireLen(),
-			Payload: seg,
-		})
+		pkt := packet.AcquirePacket()
+		pkt.Src = addr
+		pkt.Dst = dst
+		pkt.TTL = 64
+		pkt.Proto = packet.ProtoTCP
+		pkt.Size = packet.OuterHdrLen + seg.WireLen()
+		pkt.Payload = seg
+		h.node.Send(pkt)
 	})
 	h.sendRaw = func(dst packet.Addr, size int) {
-		h.node.Send(&packet.Packet{
-			Src:   addr,
-			Dst:   dst,
-			TTL:   64,
-			Proto: packet.ProtoRaw,
-			Size:  packet.OuterHdrLen + size,
-		})
+		pkt := packet.AcquirePacket()
+		pkt.Src = addr
+		pkt.Dst = dst
+		pkt.TTL = 64
+		pkt.Proto = packet.ProtoRaw
+		pkt.Size = packet.OuterHdrLen + size
+		h.node.Send(pkt)
 	}
 	h.hasCaps = func(packet.Addr) bool { return true }
 	h.node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, _ *netsim.Iface) {
 		h.deliver(pkt.Src, pkt.Proto, pkt.Payload, pkt.Size, false)
+		packet.Release(pkt)
 	})
 	return h
 }

@@ -42,6 +42,7 @@ type builder struct {
 	tvaRouters  []*core.Router
 	siffRouters []*siff.Router
 	taggerSeed  uint64
+	stops       []func() // periodic-ticker stops to run after the sim
 }
 
 // linkSched builds the scheme's output scheduler for a link direction
@@ -80,6 +81,7 @@ func (b *builder) newRouterNode(name string, deployed bool) (*netsim.Node, *push
 	if !deployed {
 		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
 			if pkt.TTL == 0 {
+				packet.Release(pkt)
 				return
 			}
 			pkt.TTL--
@@ -99,6 +101,7 @@ func (b *builder) newRouterNode(name string, deployed bool) (*netsim.Node, *push
 		b.tvaRouters = append(b.tvaRouters, rtr)
 		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
 			if pkt.TTL == 0 {
+				packet.Release(pkt)
 				return
 			}
 			pkt.TTL--
@@ -111,10 +114,12 @@ func (b *builder) newRouterNode(name string, deployed bool) (*netsim.Node, *push
 		b.siffRouters = append(b.siffRouters, rtr)
 		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
 			if pkt.TTL == 0 {
+				packet.Release(pkt)
 				return
 			}
 			pkt.TTL--
 			if _, drop := rtr.Process(pkt, b.sim.Now()); drop {
+				packet.Release(pkt)
 				return
 			}
 			node.Send(pkt)
@@ -124,10 +129,12 @@ func (b *builder) newRouterNode(name string, deployed bool) (*netsim.Node, *push
 		pr := pushback.NewRouter(b.cfg.BottleneckBps, pushback.Config{})
 		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
 			if pkt.TTL == 0 {
+				packet.Release(pkt)
 				return
 			}
 			pkt.TTL--
 			if !pr.Arrival(pkt, in.Index, b.sim.Now()) {
+				packet.Release(pkt)
 				return
 			}
 			node.Send(pkt)
@@ -136,6 +143,7 @@ func (b *builder) newRouterNode(name string, deployed bool) (*netsim.Node, *push
 	default:
 		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
 			if pkt.TTL == 0 {
+				packet.Release(pkt)
 				return
 			}
 			pkt.TTL--
@@ -153,11 +161,12 @@ func (b *builder) attachPushback(pr *pushback.Router, out *netsim.Iface) {
 	}
 	out.OnDrop = pr.RecordDrop
 	var lastSent uint64
-	b.sim.Every(pr.Interval(), func() {
+	stop := b.sim.Every(pr.Interval(), func() {
 		pr.RecordSent(out.Stats.SentBytes - lastSent)
 		lastSent = out.Stats.SentBytes
 		pr.Tick(b.sim.Now())
 	})
+	b.stops = append(b.stops, stop)
 }
 
 // Run executes one simulation and returns its metrics.
@@ -250,6 +259,9 @@ func Run(cfg Config) *Result {
 	}
 
 	sim.Run(tvatime.Time(cfg.Duration))
+	for _, stop := range b.stops {
+		stop()
+	}
 
 	if DebugHosts != nil {
 		DebugHosts(users, dest, b.tvaRouters)
@@ -332,30 +344,35 @@ func (b *builder) startAttacker(i int, attach func(*host)) {
 
 	case AttackLegacyFlood:
 		node := sim.NewNode("atk")
-		node.Handler = netsim.HandlerFunc(func(*packet.Packet, *netsim.Iface) {})
+		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, _ *netsim.Iface) {
+			packet.Release(pkt) // reverse traffic sink
+		})
 		h := &host{addr: addr, node: node}
 		attach(h)
 		flood(sim, start, stop, interval, func() {
-			node.Send(&packet.Packet{
-				Src: addr, Dst: DestAddr, TTL: 64,
-				Proto: packet.ProtoRaw,
-				Size:  packet.OuterHdrLen + cfg.AttackPktSize,
-			})
+			pkt := packet.AcquirePacket()
+			pkt.Src, pkt.Dst, pkt.TTL = addr, DestAddr, 64
+			pkt.Proto = packet.ProtoRaw
+			pkt.Size = packet.OuterHdrLen + cfg.AttackPktSize
+			node.Send(pkt)
 		})
 
 	case AttackRequestFlood:
 		node := sim.NewNode("atk")
-		node.Handler = netsim.HandlerFunc(func(*packet.Packet, *netsim.Iface) {})
+		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, _ *netsim.Iface) {
+			packet.Release(pkt) // reverse traffic sink
+		})
 		h := &host{addr: addr, node: node}
 		attach(h)
 		flood(sim, start, stop, interval, func() {
-			hdr := &packet.CapHdr{Kind: packet.KindRequest, Proto: packet.ProtoRaw}
-			node.Send(&packet.Packet{
-				Src: addr, Dst: DestAddr, TTL: 64,
-				Proto: packet.ProtoRaw,
-				Hdr:   hdr,
-				Size:  packet.OuterHdrLen + hdr.WireSize() + cfg.AttackPktSize,
-			})
+			pkt := packet.AcquirePacket()
+			hdr := pkt.NewHdr()
+			hdr.Kind = packet.KindRequest
+			hdr.Proto = packet.ProtoRaw
+			pkt.Src, pkt.Dst, pkt.TTL = addr, DestAddr, 64
+			pkt.Proto = packet.ProtoRaw
+			pkt.Size = packet.OuterHdrLen + hdr.WireSize() + cfg.AttackPktSize
+			node.Send(pkt)
 		})
 
 	case AttackAuthorizedFlood:

@@ -24,6 +24,9 @@ type DRR struct {
 	queues map[uint64]*flowq
 	// Active ring (doubly linked); head is the next queue to serve.
 	head *flowq
+	// free holds retired flowqs (linked through next) for reuse, so
+	// flow churn does not allocate a queue per new key.
+	free *flowq
 
 	bytes int
 	pkts  int
@@ -32,12 +35,42 @@ type DRR struct {
 	Drops, DropsNoQueue uint64
 }
 
+// flowq buffers one key's packets as a sliding window over pkts:
+// [head:len) are queued. Dequeue advances head instead of reslicing
+// from the front, so the backing array's capacity is reused once the
+// queue drains instead of being reallocated on the next burst.
 type flowq struct {
 	key        uint64
 	pkts       []*packet.Packet
+	head       int
 	byteCount  int
 	deficit    int
 	next, prev *flowq
+}
+
+func (q *flowq) len() int { return len(q.pkts) - q.head }
+
+func (q *flowq) push(pkt *packet.Packet) {
+	if q.head > 0 && len(q.pkts) == cap(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		for i := n; i < len(q.pkts); i++ {
+			q.pkts[i] = nil
+		}
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	q.pkts = append(q.pkts, pkt)
+}
+
+func (q *flowq) popFront() *packet.Packet {
+	pkt := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	}
+	return pkt
 }
 
 // NewDRR returns a DRR scheduler. quantum should be at least the MTU;
@@ -77,14 +110,14 @@ func (d *DRR) Enqueue(key uint64, pkt *packet.Packet) bool {
 			d.DropsNoQueue++
 			return false
 		}
-		q = &flowq{key: key}
+		q = d.newFlowq(key)
 		d.queues[key] = q
 	}
 	if q.byteCount+pkt.Size > d.perQBytes {
 		d.Drops++
 		return false
 	}
-	q.pkts = append(q.pkts, pkt)
+	q.push(pkt)
 	q.byteCount += pkt.Size
 	d.bytes += pkt.Size
 	d.pkts++
@@ -92,6 +125,17 @@ func (d *DRR) Enqueue(key uint64, pkt *packet.Packet) bool {
 		d.ringPush(q)
 	}
 	return true
+}
+
+// newFlowq reuses a retired flowq from the free list, or allocates.
+func (d *DRR) newFlowq(key uint64) *flowq {
+	if q := d.free; q != nil {
+		d.free = q.next
+		q.next = nil
+		q.key = key
+		return q
+	}
+	return &flowq{key: key}
 }
 
 // Dequeue returns the next packet under deficit round robin, or nil if
@@ -102,19 +146,19 @@ func (d *DRR) Enqueue(key uint64, pkt *packet.Packet) bool {
 func (d *DRR) Dequeue() *packet.Packet {
 	for d.head != nil {
 		q := d.head
-		pkt := q.pkts[0]
+		pkt := q.pkts[q.head]
 		if q.deficit >= pkt.Size {
 			q.deficit -= pkt.Size
-			q.pkts = q.pkts[1:]
+			q.popFront()
 			q.byteCount -= pkt.Size
 			d.bytes -= pkt.Size
 			d.pkts--
-			if len(q.pkts) == 0 {
+			if q.len() == 0 {
 				q.deficit = 0
 				d.ringRemove(q)
-				if len(q.pkts) == 0 && q.byteCount == 0 {
-					delete(d.queues, q.key)
-				}
+				delete(d.queues, q.key)
+				q.next = d.free // retire to the free list
+				d.free = q
 			}
 			return pkt
 		}
@@ -150,9 +194,12 @@ func (d *DRR) ringRemove(q *flowq) {
 	q.next, q.prev = nil, nil
 }
 
-// FIFO is a drop-tail queue bounded in bytes, packets, or both.
+// FIFO is a drop-tail queue bounded in bytes, packets, or both. Like
+// flowq it keeps queued packets in pkts[head:] and advances head on
+// dequeue, reusing the backing array instead of reallocating per burst.
 type FIFO struct {
 	pkts     []*packet.Packet
+	head     int
 	byteCap  int // 0 = unlimited
 	pktCap   int // 0 = unlimited
 	curBytes int
@@ -179,7 +226,7 @@ func NewFIFOCount(capPkts int) *FIFO {
 }
 
 // Len returns the queued packet count.
-func (f *FIFO) Len() int { return len(f.pkts) }
+func (f *FIFO) Len() int { return len(f.pkts) - f.head }
 
 // Bytes returns the queued byte count.
 func (f *FIFO) Bytes() int { return f.curBytes }
@@ -187,9 +234,17 @@ func (f *FIFO) Bytes() int { return f.curBytes }
 // Enqueue appends pkt, reporting false on a tail drop.
 func (f *FIFO) Enqueue(pkt *packet.Packet) bool {
 	if (f.byteCap > 0 && f.curBytes+pkt.Size > f.byteCap) ||
-		(f.pktCap > 0 && len(f.pkts) >= f.pktCap) {
+		(f.pktCap > 0 && f.Len() >= f.pktCap) {
 		f.Drops++
 		return false
+	}
+	if f.head > 0 && len(f.pkts) == cap(f.pkts) {
+		n := copy(f.pkts, f.pkts[f.head:])
+		for i := n; i < len(f.pkts); i++ {
+			f.pkts[i] = nil
+		}
+		f.pkts = f.pkts[:n]
+		f.head = 0
 	}
 	f.pkts = append(f.pkts, pkt)
 	f.curBytes += pkt.Size
@@ -198,12 +253,16 @@ func (f *FIFO) Enqueue(pkt *packet.Packet) bool {
 
 // Dequeue pops the head packet, or nil if empty.
 func (f *FIFO) Dequeue() *packet.Packet {
-	if len(f.pkts) == 0 {
+	if f.Len() == 0 {
 		return nil
 	}
-	pkt := f.pkts[0]
-	f.pkts[0] = nil
-	f.pkts = f.pkts[1:]
+	pkt := f.pkts[f.head]
+	f.pkts[f.head] = nil
+	f.head++
+	if f.head == len(f.pkts) {
+		f.pkts = f.pkts[:0]
+		f.head = 0
+	}
 	f.curBytes -= pkt.Size
 	return pkt
 }

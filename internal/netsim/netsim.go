@@ -11,7 +11,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -46,20 +45,28 @@ func (s *Sim) At(t tvatime.Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.events.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn d from now.
 func (s *Sim) After(d tvatime.Duration, fn func()) { s.At(s.now.Add(d), fn) }
 
-// Every schedules fn every period until the simulation ends.
-func (s *Sim) Every(period tvatime.Duration, fn func()) {
+// Every schedules fn every period until the returned stop function is
+// called. A stopped ticker never re-arms: at most one already-pending
+// (now inert) event remains in the heap, so long sweeps do not
+// accumulate live periodic events past the span they need them for.
+func (s *Sim) Every(period tvatime.Duration, fn func()) (stop func()) {
+	stopped := false
 	var tick func()
 	tick = func() {
+		if stopped {
+			return
+		}
 		fn()
 		s.After(period, tick)
 	}
 	s.After(period, tick)
+	return func() { stopped = true }
 }
 
 // Step runs the earliest event; it reports false when no events remain.
@@ -67,7 +74,7 @@ func (s *Sim) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&s.events).(*event)
+	ev := s.events.pop()
 	s.now = ev.at
 	ev.fn()
 	return true
@@ -90,24 +97,56 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
+// eventHeap is a value-based binary min-heap ordered by (at, seq).
+// Events are stored by value rather than behind container/heap's
+// interface, so scheduling does not heap-allocate per event; the
+// backing array shrinks and regrows in place, acting as the free-list
+// for retired event slots.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the closure reference for GC
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < n && s.less(l, small) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
 }
 
 // Handler processes packets arriving at a node. in is the interface
@@ -156,10 +195,12 @@ func (n *Node) Route(dst packet.Addr) *Iface {
 }
 
 // Send routes and transmits a locally originated or forwarded packet.
-// Unroutable packets are silently dropped (counted on the node).
+// Unroutable packets are silently dropped (and returned to the packet
+// pool if pooled).
 func (n *Node) Send(pkt *packet.Packet) {
 	out := n.Route(pkt.Dst)
 	if out == nil {
+		packet.Release(pkt)
 		return
 	}
 	out.Send(pkt)
@@ -227,6 +268,7 @@ func (i *Iface) Send(pkt *packet.Packet) {
 		if i.OnDrop != nil {
 			i.OnDrop(pkt)
 		}
+		packet.Release(pkt)
 		return
 	}
 	i.Stats.EnqueuedPkts++

@@ -66,6 +66,31 @@ func TestEvery(t *testing.T) {
 	}
 }
 
+func TestEveryStop(t *testing.T) {
+	s := New(1)
+	n := 0
+	var stop func()
+	stop = s.Every(tvatime.Second, func() {
+		n++
+		if n == 3 {
+			stop()
+		}
+	})
+	s.Run(tvatime.FromSeconds(10) + 1)
+	if n != 3 {
+		t.Errorf("stopped ticker fired %d times, want 3", n)
+	}
+
+	// Stopping before the first tick cancels the whole series.
+	m := 0
+	stop2 := s.Every(tvatime.Second, func() { m++ })
+	stop2()
+	s.Run(tvatime.FromSeconds(20) + 1)
+	if m != 0 {
+		t.Errorf("ticker stopped before first tick fired %d times, want 0", m)
+	}
+}
+
 // collector is a Handler recording deliveries with times.
 type collector struct {
 	sim  *Sim

@@ -68,6 +68,7 @@ type Workload struct {
 	batches [][][]byte // pkts grouped for the Fig. 12 pipeline
 	i       int
 	buf     []byte
+	scratch packet.Packet // reusable decode target for ForwardOne
 }
 
 // workload sizing: hit kinds spread byte-count across enough flows
@@ -198,8 +199,8 @@ func (w *Workload) ForwardOne(now tvatime.Time) bool {
 	if w.i == len(w.pkts) {
 		w.i = 0
 	}
-	pkt, err := packet.Unmarshal(raw)
-	if err != nil {
+	pkt := &w.scratch
+	if err := pkt.UnmarshalReuse(raw); err != nil {
 		return false
 	}
 	pkt.TTL--
@@ -208,7 +209,7 @@ func (w *Workload) ForwardOne(now tvatime.Time) bool {
 	if err != nil {
 		return false
 	}
-	_ = out
+	w.buf = out[:0]
 	return !(pkt.Hdr != nil && pkt.Hdr.Demoted) || class == packet.ClassRequest
 }
 
@@ -232,15 +233,18 @@ func MeasureForwarding(w *Workload, inputPPS int, dur time.Duration) (outputPPS 
 		clock := tvatime.WallClock{}
 		now := clock.Now()
 		n := 0
+		var scratch packet.Packet
+		buf := make([]byte, 0, 512)
 		for batch := range ring {
 			for _, raw := range batch {
-				pkt, err := packet.Unmarshal(raw)
-				if err != nil {
+				pkt := &scratch
+				if err := pkt.UnmarshalReuse(raw); err != nil {
 					continue
 				}
 				pkt.TTL--
 				w.Router.Process(pkt, 0, now)
-				if _, err := pkt.Marshal(w.buf[:0]); err == nil {
+				if out, err := pkt.Marshal(buf[:0]); err == nil {
+					buf = out[:0]
 					forwarded++
 				}
 			}

@@ -108,9 +108,11 @@ func (h *Host) Dropped() uint64 {
 }
 
 // transmit marshals and sends a shim packet to the gateway. Runs on
-// the event loop goroutine.
+// the event loop goroutine. The marshaled bytes are the packet's wire
+// life; the in-memory form goes back to the pool here.
 func (h *Host) transmit(pkt *packet.Packet) {
 	data, err := pkt.Marshal(nil)
+	packet.Release(pkt)
 	if err != nil {
 		return
 	}

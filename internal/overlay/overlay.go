@@ -208,12 +208,14 @@ func (r *Router) receiveLoop() {
 			continue
 		}
 		r.Received++
-		pkt, err := packet.Unmarshal(buf[:n])
-		if err != nil {
+		pkt := packet.AcquirePacket()
+		if err := pkt.UnmarshalReuse(buf[:n]); err != nil {
 			r.Malformed++
+			packet.Release(pkt)
 			continue
 		}
 		if pkt.TTL == 0 {
+			packet.Release(pkt)
 			continue
 		}
 		pkt.TTL--
@@ -224,6 +226,7 @@ func (r *Router) receiveLoop() {
 		out := r.route(pkt.Dst)
 		if out == nil {
 			r.Unroutable++
+			packet.Release(pkt)
 			continue
 		}
 		r.Forwarded++
@@ -236,6 +239,7 @@ func (p *port) enqueue(pkt *packet.Packet, now tvatime.Time) {
 	if !p.q.Enqueue(pkt, now) {
 		p.Dropped++
 		p.mu.Unlock()
+		packet.Release(pkt)
 		return
 	}
 	p.cond.Signal()
@@ -281,9 +285,11 @@ func (r *Router) portLoop(p *port) {
 		p.mu.Unlock()
 
 		data, err := pkt.Marshal(buf[:0])
+		packet.Release(pkt)
 		if err != nil {
 			continue
 		}
+		buf = data[:0]
 		if _, err := r.conn.WriteToUDP(data, p.to); err == nil {
 			p.Sent++
 		}

@@ -184,6 +184,13 @@ type Packet struct {
 	// the simulator. It may be nil for generated flood traffic whose
 	// content does not matter.
 	Payload any
+
+	// scratch is the packet-owned reusable shim header behind NewHdr
+	// and UnmarshalReuse; its slice capacity survives resets so the
+	// hot path does not reallocate per packet. pooled marks packets
+	// owned by the package pool (see pool.go).
+	scratch *CapHdr
+	pooled  bool
 }
 
 // OuterHdrLen is the size of the IPv4-like outer header.
@@ -222,10 +229,41 @@ func (h *CapHdr) WireSize() int {
 	return n
 }
 
+// NewHdr resets and attaches the packet's reusable shim header,
+// allocating it on first use. The header is owned by the packet: a
+// pooled packet recycles it on release, so callers must not retain the
+// header past the packet's lifetime.
+func (p *Packet) NewHdr() *CapHdr {
+	if p.scratch == nil {
+		p.scratch = new(CapHdr)
+	}
+	p.scratch.Reset()
+	p.Hdr = p.scratch
+	return p.scratch
+}
+
+// Reset clears the header for reuse, keeping allocated slice capacity.
+func (h *CapHdr) Reset() {
+	h.Kind = 0
+	h.Demoted = false
+	h.Proto = 0
+	h.Request.PathIDs = h.Request.PathIDs[:0]
+	h.Request.PreCaps = h.Request.PreCaps[:0]
+	h.Nonce = 0
+	h.NKB = 0
+	h.TSec = 0
+	h.Caps = h.Caps[:0]
+	h.Ptr = 0
+	h.Return = nil
+}
+
 // Clone returns a deep copy of the packet (excluding Payload, which is
-// shared: payloads are immutable once sent).
+// shared: payloads are immutable once sent). The copy owns no scratch
+// header and does not belong to the packet pool.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.scratch = nil
+	q.pooled = false
 	if p.Hdr != nil {
 		q.Hdr = p.Hdr.Clone()
 	}

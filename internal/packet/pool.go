@@ -1,0 +1,59 @@
+// Packet pool: the simulator and the overlay push millions of packets
+// through their hot paths, and a heap allocation per packet (plus one
+// per shim header) dominates the profile. The pool recycles Packet
+// values together with their scratch shim header, so steady-state
+// forwarding allocates nothing.
+//
+// Ownership rules (see DESIGN.md "Performance model"):
+//
+//   - AcquirePacket transfers ownership to the caller; passing the
+//     packet on (Shim.Output, Node.Send, a scheduler Enqueue) passes
+//     ownership with it.
+//   - Whoever terminally consumes a packet — a drop point, the final
+//     destination after its handler returns — calls Release. Release
+//     is a no-op for packets that did not come from the pool, so
+//     terminal consumers may call it unconditionally.
+//   - Forgetting to release is safe (the packet is simply garbage
+//     collected); releasing a packet that is still referenced is not.
+//     Never release a packet that a queue, a clone-free retransmit
+//     buffer, or an observer still holds.
+package packet
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// AcquirePacket returns a zeroed packet owned by the caller. Its
+// scratch header (NewHdr) and slice capacities are recycled from
+// earlier releases, so steady-state use is allocation-free.
+func AcquirePacket() *Packet {
+	p := pool.Get().(*Packet)
+	p.pooled = true
+	return p
+}
+
+// Release returns p to the pool if it was pool-acquired and is a no-op
+// otherwise (including for nil), so terminal consumers can call it on
+// any packet. The caller must not touch p afterwards.
+func Release(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	p.reset()
+	pool.Put(p)
+}
+
+// Pooled reports whether p is currently owned by the pool lifecycle
+// (acquired and not yet released).
+func (p *Packet) Pooled() bool { return p.pooled }
+
+// reset clears every field for reuse while keeping the scratch header
+// (adopting an externally attached one if the packet has no scratch of
+// its own) so its slice capacity survives the round trip.
+func (p *Packet) reset() {
+	scratch := p.scratch
+	if scratch == nil {
+		scratch = p.Hdr
+	}
+	*p = Packet{scratch: scratch}
+}

@@ -169,115 +169,132 @@ func splitNT(v uint16) (nkb uint16, tsec uint8) {
 	return v >> 6 & MaxNKB, uint8(v & MaxTSeconds)
 }
 
-// Unmarshal parses a packet from wire bytes. The payload (if any) is
-// copied into a fresh []byte stored in Payload.
+// Unmarshal parses a packet from wire bytes into a fresh Packet. The
+// payload (if any) is copied into a fresh []byte stored in Payload.
 func Unmarshal(data []byte) (*Packet, error) {
+	p := new(Packet)
+	if err := p.UnmarshalReuse(data); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// UnmarshalReuse parses a packet from wire bytes into p, reusing p's
+// scratch shim header and its slice capacity from earlier decodes, so
+// steady-state decoding of header-only packets allocates nothing.
+//
+// The decoded header aliases p's internal storage: it is valid only
+// until the next UnmarshalReuse or NewHdr call on p (or p's release to
+// the packet pool). On error p is left in an unspecified state and
+// must be decoded again before use.
+func (p *Packet) UnmarshalReuse(data []byte) error {
 	if len(data) < OuterHdrLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if data[0] != Version {
-		return nil, ErrBadVersion
-	}
-	p := &Packet{
-		Class: Class(data[1]),
-		TTL:   data[2],
-		Proto: Proto(data[3]),
-		Src:   Addr(binary.BigEndian.Uint32(data[8:12])),
-		Dst:   Addr(binary.BigEndian.Uint32(data[12:16])),
+		return ErrBadVersion
 	}
 	total := int(binary.BigEndian.Uint32(data[4:8]))
 	if total > len(data) || total < OuterHdrLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
+	p.Class = Class(data[1])
+	p.TTL = data[2]
+	p.Proto = Proto(data[3])
+	p.Src = Addr(binary.BigEndian.Uint32(data[8:12]))
+	p.Dst = Addr(binary.BigEndian.Uint32(data[12:16]))
 	p.Size = total
+	p.Hdr = nil
+	p.Payload = nil
 	rest := data[OuterHdrLen:total]
 	if p.Proto == ProtoShim {
-		hdr, n, err := unmarshalHdr(rest)
+		h := p.NewHdr()
+		n, err := h.unmarshal(rest)
 		if err != nil {
-			return nil, err
+			p.Hdr = nil
+			return err
 		}
-		p.Hdr = hdr
-		p.Proto = hdr.Proto
+		p.Proto = h.Proto
 		rest = rest[n:]
 	}
 	if len(rest) > 0 {
 		p.Payload = append([]byte(nil), rest...)
 	}
-	return p, nil
+	return nil
 }
 
-func unmarshalHdr(data []byte) (*CapHdr, int, error) {
+// unmarshal decodes a shim header into h, reusing h's slice capacity.
+// h must already be reset.
+func (h *CapHdr) unmarshal(data []byte) (int, error) {
 	if len(data) < 2 {
-		return nil, 0, ErrTruncated
+		return 0, ErrTruncated
 	}
 	if data[0]>>4 != Version {
-		return nil, 0, ErrBadVersion
+		return 0, ErrBadVersion
 	}
 	t := data[0] & 0x0f
-	h := &CapHdr{
-		Kind:    Kind(t & typeKind),
-		Demoted: t&typeDemoted != 0,
-		Proto:   Proto(data[1]),
-	}
+	h.Kind = Kind(t & typeKind)
+	h.Demoted = t&typeDemoted != 0
+	h.Proto = Proto(data[1])
 	off := 2
 	var err error
 	switch h.Kind {
 	case KindRequest:
 		off, err = unmarshalRequest(data, off, &h.Request)
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 	case KindNonceOnly:
 		if h.Nonce, off, err = readNonce(data, off); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 	case KindRegular, KindRenewal:
 		if h.Nonce, off, err = readNonce(data, off); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		if len(data) < off+4 {
-			return nil, 0, ErrTruncated
+			return 0, ErrTruncated
 		}
 		ncaps := int(data[off])
 		h.Ptr = data[off+1]
 		off += 2 // count, ptr
 		h.NKB, h.TSec = splitNT(binary.BigEndian.Uint16(data[off : off+2]))
 		off += 2
-		if h.Caps, off, err = readCaps(data, off, ncaps); err != nil {
-			return nil, 0, err
+		if h.Caps, off, err = readCaps(h.Caps, data, off, ncaps); err != nil {
+			return 0, err
 		}
 		if h.Kind == KindRenewal {
 			off, err = unmarshalRequest(data, off, &h.Request)
 			if err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 		}
 	}
 
 	if t&typeReturn != 0 {
 		if len(data) < off+1 {
-			return nil, 0, ErrTruncated
+			return 0, ErrTruncated
 		}
 		rt := data[off]
 		off++
 		ret := &ReturnInfo{DemotionNotice: rt&returnDemotion != 0}
 		if rt&returnGrant != 0 {
 			if len(data) < off+3 {
-				return nil, 0, ErrTruncated
+				return 0, ErrTruncated
 			}
 			g := &Grant{}
 			ncaps := int(data[off])
 			off++
 			g.NKB, g.TSec = splitNT(binary.BigEndian.Uint16(data[off : off+2]))
 			off += 2
-			if g.Caps, off, err = readCaps(data, off, ncaps); err != nil {
-				return nil, 0, err
+			if g.Caps, off, err = readCaps(nil, data, off, ncaps); err != nil {
+				return 0, err
 			}
 			ret.Grant = g
 		}
 		h.Return = ret
 	}
-	return h, off, nil
+	return off, nil
 }
 
 func unmarshalRequest(data []byte, off int, r *RequestHdr) (int, error) {
@@ -290,14 +307,14 @@ func unmarshalRequest(data []byte, off int, r *RequestHdr) (int, error) {
 		return 0, ErrTruncated
 	}
 	if nids > 0 {
-		r.PathIDs = make([]PathID, nids)
-		for i := range r.PathIDs {
-			r.PathIDs[i] = PathID(binary.BigEndian.Uint16(data[off : off+2]))
+		r.PathIDs = r.PathIDs[:0]
+		for i := 0; i < nids; i++ {
+			r.PathIDs = append(r.PathIDs, PathID(binary.BigEndian.Uint16(data[off:off+2])))
 			off += 2
 		}
 	}
 	var err error
-	r.PreCaps, off, err = readCaps(data, off, ncaps)
+	r.PreCaps, off, err = readCaps(r.PreCaps, data, off, ncaps)
 	return off, err
 }
 
@@ -310,17 +327,16 @@ func readNonce(data []byte, off int) (uint64, int, error) {
 	return binary.BigEndian.Uint64(b[:]), off + 6, nil
 }
 
-func readCaps(data []byte, off, n int) ([]uint64, int, error) {
+// readCaps decodes n capabilities into dst's backing array (keeping
+// capacity across decodes); a nil dst with n == 0 stays nil.
+func readCaps(dst []uint64, data []byte, off, n int) ([]uint64, int, error) {
 	if len(data) < off+8*n {
 		return nil, 0, ErrTruncated
 	}
-	if n == 0 {
-		return nil, off, nil
-	}
-	caps := make([]uint64, n)
-	for i := range caps {
-		caps[i] = binary.BigEndian.Uint64(data[off : off+8])
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, binary.BigEndian.Uint64(data[off:off+8]))
 		off += 8
 	}
-	return caps, off, nil
+	return dst, off, nil
 }

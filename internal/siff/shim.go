@@ -100,10 +100,13 @@ func (s *Shim) HasCaps(dst packet.Addr) bool {
 	return st != nil && st.granted
 }
 
-// Send wraps an upper-layer payload toward dst.
+// Send wraps an upper-layer payload toward dst. Packets come from the
+// packet pool; ownership passes to Output.
 func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) {
 	now := s.clock.Now()
-	h := &packet.CapHdr{Proto: proto}
+	pkt := packet.AcquirePacket()
+	h := pkt.NewHdr()
+	h.Proto = proto
 	st := s.sends[dst]
 
 	if st != nil && st.granted {
@@ -118,11 +121,14 @@ func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) 
 
 	if st != nil && st.granted {
 		h.Kind = packet.KindRegular
-		h.Caps = append([]uint64(nil), st.caps...)
+		h.Caps = append(h.Caps[:0], st.caps...)
 		st.sentSinceHeard++
 		s.Stats.RegularSent++
 	} else {
 		h.Kind = packet.KindRequest
+		if cap(h.Request.PreCaps) == 0 {
+			h.Request.PreCaps = make([]uint64, 0, 8)
+		}
 		s.Stats.RequestsSent++
 	}
 
@@ -131,13 +137,10 @@ func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) 
 		delete(s.pending, dst)
 	}
 
-	pkt := &packet.Packet{
-		Src:   s.addr,
-		Dst:   dst,
-		TTL:   64,
-		Proto: proto,
-		Hdr:   h,
-	}
+	pkt.Src = s.addr
+	pkt.Dst = dst
+	pkt.TTL = 64
+	pkt.Proto = proto
 	pkt.Size = packet.OuterHdrLen + h.WireSize() + size
 	pkt.Payload = payload
 	s.Output(pkt)

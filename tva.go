@@ -196,6 +196,24 @@ func SweepSim(cfg SimConfig, attackerCounts []int) []SweepPoint {
 	return exp.Sweep(cfg, attackerCounts)
 }
 
+// RunSims executes independent simulation runs across worker
+// goroutines, returning results in input order. workers <= 0 uses
+// GOMAXPROCS. Each run's outcome depends only on its configuration,
+// so the results are identical to running the configs serially.
+func RunSims(cfgs []SimConfig, workers int) []*SimResult {
+	return exp.RunMany(cfgs, workers)
+}
+
+// SweepSimParallel is SweepSim fanned across workers; it returns the
+// same points in the same order.
+func SweepSimParallel(cfg SimConfig, attackerCounts []int, workers int) []SweepPoint {
+	return exp.SweepParallel(cfg, attackerCounts, workers)
+}
+
+// SimSweepSpec enumerates a (scheme, attack, attacker-count, seed)
+// grid over a base configuration for parallel execution.
+type SimSweepSpec = exp.SweepSpec
+
 // Well-known simulation addresses.
 var (
 	SimDestAddr     = exp.DestAddr
