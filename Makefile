@@ -1,6 +1,6 @@
 GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: all build vet test race bench check
+.PHONY: all build vet test race bench bench-guard check
 
 all: check
 
@@ -21,4 +21,10 @@ race:
 bench:
 	go run ./cmd/tvabench -label $(GIT_SHA)
 
-check: build vet test race
+# bench-guard fails if any Table 1 row allocates more per packet than
+# the committed PR 1 baseline — the zero-allocation forwarding path
+# must survive telemetry and whatever comes after it.
+bench-guard:
+	go run ./cmd/tvabench -guard BENCH_pr1.json
+
+check: build vet test race bench-guard

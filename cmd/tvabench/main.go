@@ -74,6 +74,7 @@ func main() {
 	jsonPath := flag.String("json", "", "snapshot output path (default BENCH_<label>.json)")
 	workers := flag.Int("workers", 0, "parallel workers for the snapshot's scenario sweep (0 = GOMAXPROCS)")
 	simSec := flag.Float64("sim-duration", 12, "simulated seconds per snapshot scenario run")
+	guard := flag.String("guard", "", "compare current Table 1 allocs/op against this BENCH_*.json; exit 1 on regression")
 	flag.Parse()
 
 	var suite capability.Suite
@@ -85,6 +86,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suiteName)
 		os.Exit(2)
+	}
+
+	if *guard != "" {
+		if err := guardAllocs(suite, *guard); err != nil {
+			fmt.Fprintln(os.Stderr, "tvabench -guard:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *label != "" || *jsonPath != "" {
@@ -165,6 +174,47 @@ func fig12(suite capability.Suite, dur time.Duration) {
 		fmt.Println()
 	}
 	fmt.Println()
+}
+
+// guardAllocs compares current Table 1 allocation counts against a
+// committed snapshot and fails on any regression. Telemetry rode into
+// the forwarding path with the promise of zero extra allocations;
+// this is the check that keeps the promise honest in CI.
+func guardAllocs(suite capability.Suite, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	baseline := make(map[string]int64, len(base.Table1))
+	for _, row := range base.Table1 {
+		baseline[row.Kind] = row.AllocsPerOp
+	}
+
+	fmt.Printf("# alloc guard vs %s (suite=%s)\n", path, suite.Name)
+	fmt.Printf("%-22s %10s %10s\n", "packet type", "baseline", "current")
+	failed := false
+	// Measure exactly the way the snapshot was measured (steady-state
+	// testing.Benchmark loops), so warm-up allocations such as flow
+	// cache growth do not read as regressions.
+	for _, row := range measureTable1(suite) {
+		got := row.AllocsPerOp
+		want, ok := baseline[row.Kind]
+		mark := "ok"
+		if ok && got > want {
+			mark = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-22s %10d %10d  %s\n", row.Kind, want, got, mark)
+	}
+	if failed {
+		return fmt.Errorf("allocs/op regressed above the %s baseline", path)
+	}
+	fmt.Println("allocs/op within baseline")
+	return nil
 }
 
 // snapshotSaturatingPPS is the offered load for the snapshot's Fig. 12

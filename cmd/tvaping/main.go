@@ -95,10 +95,22 @@ func main() {
 			if !h.HasCaps(dst) {
 				state = "request"
 			}
-			fmt.Printf("reply from %s: seq=%d rtt=%v mode=%s demoted=%v\n",
-				msg.Src, i, time.Since(start).Round(time.Microsecond), state, msg.Demoted)
+			detail := ""
+			if msg.Demoted {
+				if d, ok := h.LastDemotion(dst); ok {
+					detail = fmt.Sprintf(" (%s at router %d)", d.Reason, d.Router)
+				}
+			}
+			fmt.Printf("reply from %s: seq=%d rtt=%v mode=%s demoted=%v%s\n",
+				msg.Src, i, time.Since(start).Round(time.Microsecond), state, msg.Demoted, detail)
 		case <-time.After(2 * time.Second):
-			fmt.Printf("timeout seq=%d\n", i)
+			// A demotion notice carried back on the reverse channel
+			// tells us which router stopped honouring the path and why.
+			if d, ok := h.LastDemotion(dst); ok {
+				fmt.Printf("timeout seq=%d (path demoted: %s at router %d)\n", i, d.Reason, d.Router)
+			} else {
+				fmt.Printf("timeout seq=%d\n", i)
+			}
 		}
 		time.Sleep(*interval)
 	}

@@ -12,8 +12,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +27,7 @@ import (
 	"tva/internal/core"
 	"tva/internal/overlay"
 	"tva/internal/packet"
+	"tva/internal/telemetry"
 )
 
 type routeList []string
@@ -37,6 +41,7 @@ func main() {
 	reqFrac := flag.Float64("request-fraction", 0.05, "request channel share of the link")
 	fast := flag.Bool("fast-hash", false, "use the fast (non-crypto) hash suite")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 = never)")
+	debugAddr := flag.String("pprof", "", "serve pprof and expvar diagnostics on this address (e.g. 127.0.0.1:6060)")
 	var routes routeList
 	flag.Var(&routes, "route", "addr=udphost:port (repeatable)")
 	def := flag.String("default", "", "default next hop udphost:port")
@@ -87,6 +92,18 @@ func main() {
 	fmt.Printf("tvarouter listening on %s (%d routes, suite=%s)\n",
 		r.Addr(), len(routes), suite.Name)
 
+	if *debugAddr != "" {
+		// /debug/pprof (profiles) and /debug/vars (expvar) on the
+		// default mux; both packages register themselves on import.
+		expvar.Publish("tva", expvar.Func(func() any { return diagnostics(r) }))
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+		fmt.Printf("diagnostics on http://%s/debug/pprof and /debug/vars\n", *debugAddr)
+	}
+
 	if *stats > 0 {
 		go func() {
 			for range time.Tick(*stats) {
@@ -100,6 +117,35 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+}
+
+// diagnostics snapshots the router's counters for /debug/vars:
+// forwarding totals, reason-attributed scheduler drops, demotion
+// causes, and flow-cache occupancy.
+func diagnostics(r *overlay.Router) map[string]any {
+	schedDrops := r.SchedDrops()
+	engine := r.Core()
+	drops := make(map[string]uint64, telemetry.NumDropReasons)
+	demotions := make(map[string]uint64, telemetry.NumDropReasons)
+	for i := 0; i < telemetry.NumDropReasons; i++ {
+		reason := telemetry.DropReason(i)
+		if n := schedDrops.Get(reason); n > 0 {
+			drops[reason.String()] = n
+		}
+		if n := engine.Demotions.Get(reason); n > 0 {
+			demotions[reason.String()] = n
+		}
+	}
+	return map[string]any{
+		"received":          r.Received,
+		"forwarded":         r.Forwarded,
+		"unroutable":        r.Unroutable,
+		"malformed":         r.Malformed,
+		"sched_drops":       drops,
+		"sched_drops_total": schedDrops.Total(),
+		"demotions":         demotions,
+		"flowcache_entries": engine.Cache().Len(),
+	}
 }
 
 func parseAddr(s string) (packet.Addr, error) {

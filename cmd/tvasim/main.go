@@ -10,6 +10,15 @@
 // the same shape as the paper's plots: completion fraction and average
 // transfer time versus attacker count (Figs. 8–10), or per-transfer
 // times versus start time (Fig. 11).
+//
+// With -metrics FILE (and/or -trace N) tvasim instead runs one
+// instrumented simulation — the first scheme in -schemes at the
+// largest attacker count — and writes the gauge time series sampled
+// every -metrics-interval of virtual time to FILE (.csv by extension,
+// JSON otherwise), along with a drop-attribution summary:
+//
+//	tvasim -fig 8 -schemes tva -metrics out.json
+//	tvasim -fig 8 -schemes tva -trace 20
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"strings"
 
 	"tva/internal/exp"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -30,6 +40,9 @@ func main() {
 	durationSec := flag.Float64("duration", 120, "simulated seconds per run")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS); results are identical at any worker count")
+	metricsOut := flag.String("metrics", "", "run one instrumented simulation and write its gauge time series to this file (.csv or .json)")
+	metricsIntervalMs := flag.Float64("metrics-interval", 100, "sampler interval in virtual milliseconds (with -metrics)")
+	traceN := flag.Int("trace", 0, "with an instrumented run, print the last N per-packet trace events")
 	flag.Parse()
 
 	schemes, err := parseSchemes(*schemesFlag)
@@ -48,6 +61,20 @@ func main() {
 	if *fig == "all" {
 		figs = []string{"8", "9", "10", "11"}
 	}
+
+	if *metricsOut != "" || *traceN > 0 {
+		if len(figs) != 1 {
+			fmt.Fprintln(os.Stderr, "-metrics/-trace need a single -fig (8, 9, 10 or 11)")
+			os.Exit(2)
+		}
+		if err := instrumentedRun(figs[0], schemes, counts, dur, *seed,
+			*metricsOut, *metricsIntervalMs, *traceN); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	for _, f := range figs {
 		switch f {
 		case "8":
@@ -63,6 +90,108 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// figAttack maps a figure number to its attack workload.
+func figAttack(fig string) (exp.Attack, error) {
+	switch fig {
+	case "8":
+		return exp.AttackLegacyFlood, nil
+	case "9":
+		return exp.AttackRequestFlood, nil
+	case "10":
+		return exp.AttackAuthorizedFlood, nil
+	case "11":
+		return exp.AttackImpreciseAuth, nil
+	}
+	return 0, fmt.Errorf("unknown figure %q", fig)
+}
+
+// instrumentedRun executes one simulation with the sampler (and
+// optionally the tracer) on, writes the time series, and prints the
+// drop-attribution summary. It verifies the accounting invariant: the
+// per-reason drop counters must sum to the bottleneck's drop total.
+func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime.Duration, seed int64, out string, intervalMs float64, traceN int) error {
+	attack, err := figAttack(fig)
+	if err != nil {
+		return err
+	}
+	scheme := exp.SchemeTVA
+	if len(schemes) > 0 {
+		scheme = schemes[0]
+	}
+	attackers := 0
+	for _, k := range counts {
+		if k > attackers {
+			attackers = k
+		}
+	}
+	cfg := exp.Config{
+		Scheme:          scheme,
+		Attack:          attack,
+		NumAttackers:    attackers,
+		Duration:        dur,
+		Seed:            seed,
+		MetricsInterval: tvatime.Duration(intervalMs * float64(tvatime.Millisecond)),
+		TraceEvents:     traceN,
+	}
+	if attack == exp.AttackImpreciseAuth {
+		cfg.NumAttackers = 100
+		cfg.AttackStart = 10 * tvatime.Second
+	}
+	res := exp.Run(cfg)
+	tel := &res.Telemetry
+
+	fmt.Printf("# instrumented run: fig %s, scheme %s, %d attackers, %.0fs\n",
+		fig, scheme, cfg.NumAttackers, dur.Seconds())
+	fmt.Printf("completion=%.3f avg-xfer=%.3fs utilization=%.3f goodput=%d bytes\n",
+		res.CompletionFraction(), res.AvgTransferTime(), res.BottleneckUtilization, tel.GoodputBytes)
+
+	fmt.Println("bottleneck drops by reason:")
+	for i := 0; i < telemetry.NumDropReasons; i++ {
+		r := telemetry.DropReason(i)
+		if n := tel.SchedDrops.Get(r); n > 0 {
+			fmt.Printf("  %-22s %12d\n", r, n)
+		}
+	}
+	fmt.Printf("  %-22s %12d\n", "total", tel.SchedDrops.Total())
+	if d := tel.Demotions.Total(); d > 0 {
+		fmt.Printf("demotions at routers: %d\n", d)
+	}
+	fmt.Printf("host egress drops (silent loss before routers): %d\n", tel.HostEgressDrops)
+	fmt.Printf("queue delay p50=%.3fms p99=%.3fms  e2e p50=%.3fms p99=%.3fms\n",
+		tel.QueueDelay.Quantile(0.5).Seconds()*1e3, tel.QueueDelay.Quantile(0.99).Seconds()*1e3,
+		tel.Delivery.Quantile(0.5).Seconds()*1e3, tel.Delivery.Quantile(0.99).Seconds()*1e3)
+
+	// Accounting invariant: reason-attributed counters cover every
+	// bottleneck drop exactly.
+	if tel.SchedDrops.Total() != res.BottleneckDrops {
+		return fmt.Errorf("drop accounting mismatch: per-reason sum %d != bottleneck drops %d",
+			tel.SchedDrops.Total(), res.BottleneckDrops)
+	}
+	fmt.Printf("drop accounting: per-reason sum matches bottleneck total (%d)\n", res.BottleneckDrops)
+
+	if out != "" && tel.Sampler != nil {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(out, ".csv") {
+			err = tel.Sampler.WriteCSV(f)
+		} else {
+			err = tel.Sampler.WriteJSON(f)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d samples x %d gauges to %s\n", tel.Sampler.Len(), len(tel.Sampler.Names()), out)
+	}
+	if traceN > 0 && tel.Trace != nil {
+		fmt.Printf("last %d of %d trace events:\n", tel.Trace.Len(), tel.Trace.Total())
+		tel.Trace.WriteText(os.Stdout)
+	}
+	return nil
 }
 
 func parseSchemes(s string) ([]exp.Scheme, error) {
@@ -113,14 +242,16 @@ func sweepFigure(title string, attack exp.Attack, schemes []exp.Scheme, counts [
 	results := exp.RunMany(cfgs, workers)
 
 	fmt.Printf("# %s\n", title)
-	fmt.Printf("%-10s %10s %12s %14s\n", "scheme", "attackers", "completion", "xfer-time(s)")
+	fmt.Printf("%-10s %10s %12s %14s %12s %12s\n",
+		"scheme", "attackers", "completion", "xfer-time(s)", "drops", "host-drops")
 	i := 0
 	for _, scheme := range schemes {
 		for _, k := range counts {
 			res := results[i]
 			i++
-			fmt.Printf("%-10s %10d %12.3f %14.3f\n",
-				scheme, k, res.CompletionFraction(), res.AvgTransferTime())
+			fmt.Printf("%-10s %10d %12.3f %14.3f %12d %12d\n",
+				scheme, k, res.CompletionFraction(), res.AvgTransferTime(),
+				res.BottleneckDrops, res.Telemetry.HostEgressDrops)
 		}
 		fmt.Println()
 	}

@@ -10,6 +10,7 @@ import (
 	"tva/internal/flowcache"
 	"tva/internal/packet"
 	"tva/internal/pathid"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -17,6 +18,9 @@ import (
 type RouterConfig struct {
 	// Suite selects the hash construction (capability.Crypto or Fast).
 	Suite capability.Suite
+	// ID identifies the router in demotion notices and trace events
+	// (stamped into CapHdr.DemoteRouter, which is one byte).
+	ID uint8
 	// SecretPeriod is the router-secret rotation period (default 128s).
 	SecretPeriod tvatime.Duration
 	// CacheEntries bounds flow state (size with flowcache.Bound).
@@ -53,6 +57,15 @@ type Router struct {
 	cache *flowcache.Cache
 
 	Stats RouterStats
+	// Demotions attributes every demotion (the capability router's
+	// "drop": the packet loses regular service and takes its chances
+	// in the legacy class, §3.8) to the check that failed. The actual
+	// discard, if any, happens later at a queue and is counted there.
+	Demotions telemetry.DropCounters
+	// Tracer, when non-nil, receives one classify event per processed
+	// packet. Checked with a single branch so the nil (disabled) case
+	// costs nothing on the hot path.
+	Tracer telemetry.Tracer
 }
 
 // NewRouter builds a router from cfg.
@@ -95,6 +108,7 @@ func (r *Router) Process(pkt *packet.Packet, inIface int, now tvatime.Time) pack
 	if h == nil {
 		r.Stats.Legacy++
 		pkt.Class = packet.ClassLegacy
+		r.trace(pkt, now)
 		return pkt.Class
 	}
 	if h.Demoted {
@@ -102,6 +116,7 @@ func (r *Router) Process(pkt *packet.Packet, inIface int, now tvatime.Time) pack
 		// (§3.8); it is not re-validated downstream.
 		r.Stats.Legacy++
 		pkt.Class = packet.ClassLegacy
+		r.trace(pkt, now)
 		return pkt.Class
 	}
 	// Header mutation (appended pre-capabilities and path identifiers)
@@ -112,16 +127,43 @@ func (r *Router) Process(pkt *packet.Packet, inIface int, now tvatime.Time) pack
 		r.stampRequest(pkt, h, inIface, now)
 		pkt.Class = packet.ClassRequest
 	default:
-		if r.processRegular(pkt, h, inIface, now) {
+		if ok, reason := r.processRegular(pkt, h, inIface, now); ok {
 			pkt.Class = packet.ClassRegular
 		} else {
 			h.Demoted = true
+			// Carry the failed check and the demoting router back to
+			// the sender (via return info at the destination) so tools
+			// like tvaping can name the hop and reason.
+			h.DemoteReason = uint8(reason)
+			h.DemoteRouter = r.cfg.ID
 			r.Stats.Demoted++
+			r.Demotions.Inc(reason)
 			pkt.Class = packet.ClassLegacy
 		}
 	}
 	pkt.Size += h.WireSize() - before
+	r.trace(pkt, now)
 	return pkt.Class
+}
+
+// trace emits a classify event when a tracer is attached.
+func (r *Router) trace(pkt *packet.Packet, now tvatime.Time) {
+	if r.Tracer == nil {
+		return
+	}
+	ev := telemetry.Event{
+		Time:   now,
+		Kind:   telemetry.EventClassify,
+		Router: int(r.cfg.ID),
+		Src:    uint32(pkt.Src),
+		Dst:    uint32(pkt.Dst),
+		Class:  uint8(pkt.Class),
+		Size:   pkt.Size,
+	}
+	if pkt.Hdr != nil && pkt.Hdr.Demoted {
+		ev.Reason = telemetry.DropReason(pkt.Hdr.DemoteReason)
+	}
+	r.Tracer.Record(ev)
 }
 
 // stampRequest adds this router's pre-capability (and path identifier
@@ -137,8 +179,18 @@ func (r *Router) stampRequest(pkt *packet.Packet, h *packet.CapHdr, inIface int,
 }
 
 // processRegular implements the regular/renewal arm of Fig. 6 and
-// reports whether the packet is authorized.
-func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface int, now tvatime.Time) bool {
+// reports whether the packet is authorized; when it is not, the
+// DropReason names the check that failed:
+//
+//   - cap-invalid: malformed capability pointer, a failed MAC/secret
+//     validation, or an authorization below the architectural (N/T)min;
+//   - cap-expired: the authorization is used up — expiry passed or the
+//     N-byte budget exhausted (both of §3.5's router checks);
+//   - flowcache-pressure: the packet was cryptographically valid but
+//     the bounded flow cache could not admit it, or its cache entry is
+//     gone (evicted/expired) and it carries only a nonce to revalidate
+//     with.
+func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface int, now tvatime.Time) (bool, telemetry.DropReason) {
 	// This router's capability, if the packet carries a list: the
 	// capability pointer names this router's slot and is advanced
 	// unconditionally so downstream routers index their own slot even
@@ -147,7 +199,7 @@ func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface in
 	hasCap := false
 	if h.Kind == packet.KindRegular || h.Kind == packet.KindRenewal {
 		if int(h.Ptr) >= len(h.Caps) {
-			return false // malformed or more routers than slots
+			return false, telemetry.DropCapInvalid // malformed or more routers than slots
 		}
 		myCap = h.Caps[h.Ptr]
 		h.Ptr++
@@ -159,17 +211,23 @@ func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface in
 		// per-flow state at an arbitrarily low rate (§3.6).
 		minRate := int64(r.cfg.MinNKB) * 1024 / int64(r.cfg.MinTSec)
 		if h.TSec == 0 || int64(h.NKB)*1024/int64(h.TSec) < minRate {
-			return false
+			return false, telemetry.DropCapInvalid
 		}
 	}
 
 	key := flowcache.Key{Src: pkt.Src, Dst: pkt.Dst}
 	entry := r.cache.Lookup(pkt.Src, pkt.Dst)
+	reason := telemetry.DropFlowCachePressure
 	valid := false
 	switch {
 	case entry != nil && h.Nonce == entry.Nonce:
 		// Common case: flow nonce matches the cached validation.
 		valid = r.cache.Charge(entry, pkt.Size, now)
+		if !valid {
+			// Both Charge checks — expiry and the N-byte budget — mean
+			// the authorization is used up.
+			reason = telemetry.DropCapExpired
+		}
 		r.Stats.RegularHit++
 	case entry != nil && hasCap:
 		// Possibly the first packet carrying a renewed capability:
@@ -179,13 +237,23 @@ func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface in
 			valid = r.cache.Replace(entry, h.Nonce, myCap, int64(h.NKB)*1024, h.TSec, expiry, pkt.Size, now)
 			if valid {
 				r.Stats.Replaced++
+			} else {
+				reason = telemetry.DropCapExpired
 			}
+		} else {
+			reason = telemetry.DropCapInvalid
 		}
 	case entry == nil && hasCap:
 		if r.auth.ValidateCap(pkt.Src, pkt.Dst, myCap, h.NKB, h.TSec, now) {
 			expiry := capability.Expiry(myCap, h.TSec, now)
-			valid = r.cache.Create(key, h.Nonce, myCap, int64(h.NKB)*1024, h.TSec, expiry, pkt.Size, now) != nil
+			if !now.Before(expiry) || int64(pkt.Size) > int64(h.NKB)*1024 {
+				reason = telemetry.DropCapExpired
+			} else if r.cache.Create(key, h.Nonce, myCap, int64(h.NKB)*1024, h.TSec, expiry, pkt.Size, now) != nil {
+				valid = true
+			}
 			r.Stats.RegularMiss++
+		} else {
+			reason = telemetry.DropCapInvalid
 		}
 	}
 
@@ -199,5 +267,8 @@ func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface in
 			pathid.Stamp(h, r.cfg.Tagger.ForInterface(inIface))
 		}
 	}
-	return valid
+	if valid {
+		return true, 0
+	}
+	return false, reason
 }

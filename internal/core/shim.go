@@ -9,6 +9,7 @@ import (
 
 	"tva/internal/capability"
 	"tva/internal/packet"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -103,23 +104,37 @@ type Shim struct {
 	// reports the packet arrived demoted (optional).
 	Deliver func(src packet.Addr, proto packet.Proto, payload any, size int, demoted bool)
 
-	sends   map[packet.Addr]*sendState
-	pending map[packet.Addr]*packet.ReturnInfo
+	sends     map[packet.Addr]*sendState
+	pending   map[packet.Addr]*packet.ReturnInfo
+	demotions map[packet.Addr]Demotion
 
 	Stats ShimStats
+}
+
+// Demotion is the most recent demotion evidence involving a peer: the
+// router that cleared the capability bits and its reason, carried in
+// the demoted packet's two-byte extension and echoed back in return
+// information (§3.8). Diagnostics like tvaping use it to say *where*
+// and *why* a path stopped honouring capabilities instead of reporting
+// a bare timeout.
+type Demotion struct {
+	Reason telemetry.DropReason
+	Router uint8
+	At     tvatime.Time
 }
 
 // NewShim builds a host shim for addr with the given authorization
 // policy (nil means refuse everything inbound).
 func NewShim(addr packet.Addr, policy Policy, clock tvatime.Clock, rng *rand.Rand, cfg ShimConfig) *Shim {
 	return &Shim{
-		cfg:     cfg.withDefaults(),
-		addr:    addr,
-		clock:   clock,
-		rng:     rng,
-		policy:  policy,
-		sends:   make(map[packet.Addr]*sendState),
-		pending: make(map[packet.Addr]*packet.ReturnInfo),
+		cfg:       cfg.withDefaults(),
+		addr:      addr,
+		clock:     clock,
+		rng:       rng,
+		policy:    policy,
+		sends:     make(map[packet.Addr]*sendState),
+		pending:   make(map[packet.Addr]*packet.ReturnInfo),
+		demotions: make(map[packet.Addr]Demotion),
 	}
 }
 
@@ -131,6 +146,14 @@ func (s *Shim) Addr() packet.Addr { return s.addr }
 func (s *Shim) HasCaps(dst packet.Addr) bool {
 	st := s.sends[dst]
 	return st != nil && st.granted
+}
+
+// LastDemotion reports the most recent demotion evidence involving
+// peer: either a demotion notice echoed back from the receiver (sender
+// side) or a demoted packet that arrived here (receiver side).
+func (s *Shim) LastDemotion(peer packet.Addr) (Demotion, bool) {
+	d, ok := s.demotions[peer]
+	return d, ok
 }
 
 // Send wraps an upper-layer payload toward dst and transmits it. size
@@ -164,6 +187,7 @@ func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) 
 	pkt.Proto = proto
 	pkt.Size = packet.OuterHdrLen + h.WireSize() + size
 	pkt.Payload = payload
+	pkt.SentAt = now
 
 	if st = s.sends[dst]; st != nil && st.granted {
 		st.bytesSent += int64(pkt.Size)
@@ -259,9 +283,18 @@ func (s *Shim) Receive(pkt *packet.Packet) {
 
 	if h.Demoted {
 		// Echo the demotion to the sender on the reverse channel
-		// (§3.8) so it repairs the path.
+		// (§3.8) so it repairs the path, carrying the demoting router
+		// and its reason along.
 		s.Stats.DemotionsSeen++
-		s.pendingFor(pkt.Src).DemotionNotice = true
+		ret := s.pendingFor(pkt.Src)
+		ret.DemotionNotice = true
+		ret.DemoteReason = h.DemoteReason
+		ret.DemoteRouter = h.DemoteRouter
+		s.demotions[pkt.Src] = Demotion{
+			Reason: telemetry.DropReason(h.DemoteReason),
+			Router: h.DemoteRouter,
+			At:     now,
+		}
 	}
 
 	if h.Return != nil {
@@ -314,6 +347,11 @@ func (s *Shim) applyReturn(src packet.Addr, ret *packet.ReturnInfo, now tvatime.
 		}
 	}
 	if ret.DemotionNotice {
+		s.demotions[src] = Demotion{
+			Reason: telemetry.DropReason(ret.DemoteReason),
+			Router: ret.DemoteRouter,
+			At:     now,
+		}
 		s.repair(src, now)
 	}
 }

@@ -147,6 +147,20 @@ type Config struct {
 	// simulation speed; capability.Crypto is the paper's construction).
 	Suite capability.Suite
 
+	// MetricsInterval, if positive, samples per-router gauges and
+	// cumulative drop counters every interval of virtual time into
+	// Result.Telemetry.Sampler. Sampling is off the forwarding path
+	// (its own simulator events), so zero vs non-zero does not change
+	// packet-level outcomes.
+	MetricsInterval tvatime.Duration
+	// MetricsCapacity bounds the sampler ring (rows kept; oldest
+	// overwritten). Zero sizes it to Duration/MetricsInterval.
+	MetricsCapacity int
+	// TraceEvents, if positive, attaches a bounded per-packet tracer
+	// of that capacity to the bottleneck link and the destination
+	// (Result.Telemetry.Trace).
+	TraceEvents int
+
 	Seed int64
 }
 
@@ -230,6 +244,11 @@ type Result struct {
 	BottleneckUtilization float64
 	// BottleneckDrops counts forward bottleneck enqueue drops.
 	BottleneckDrops uint64
+
+	// Telemetry carries the run's observability output: per-reason
+	// drop counters, demotion causes, delay histograms, and (when
+	// configured) the gauge time series and packet trace.
+	Telemetry RunTelemetry
 }
 
 // CompletionFraction is the fraction of decided transfers that

@@ -130,6 +130,7 @@ func newPlainHost(sim *netsim.Sim, name string, addr packet.Addr) *host {
 		pkt.Proto = packet.ProtoTCP
 		pkt.Size = packet.OuterHdrLen + seg.WireLen()
 		pkt.Payload = seg
+		pkt.SentAt = sim.Now()
 		h.node.Send(pkt)
 	})
 	h.sendRaw = func(dst packet.Addr, size int) {
@@ -139,6 +140,7 @@ func newPlainHost(sim *netsim.Sim, name string, addr packet.Addr) *host {
 		pkt.TTL = 64
 		pkt.Proto = packet.ProtoRaw
 		pkt.Size = packet.OuterHdrLen + size
+		pkt.SentAt = sim.Now()
 		h.node.Send(pkt)
 	}
 	h.hasCaps = func(packet.Addr) bool { return true }

@@ -12,6 +12,7 @@ import (
 	"tva/internal/sched"
 	"tva/internal/siff"
 	"tva/internal/tcp"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -43,6 +44,10 @@ type builder struct {
 	siffRouters []*siff.Router
 	taggerSeed  uint64
 	stops       []func() // periodic-ticker stops to run after the sim
+
+	hostEgs     []sched.Scheduler // host egress queues (silent-loss audit)
+	tracer      telemetry.Tracer  // nil unless cfg.TraceEvents > 0
+	finalSample func()            // end-of-run sampler snapshot
 }
 
 // linkSched builds the scheme's output scheduler for a link direction
@@ -69,8 +74,14 @@ func (b *builder) linkSchedFor(bps int64, deployed bool) sched.Scheduler {
 	}
 }
 
-// hostEgress is a host's own output queue (hosts self-pace).
-func hostEgress() sched.Scheduler { return sched.NewDropTailPkts(128) }
+// hostEgress is a host's own output queue (hosts self-pace). The
+// builder keeps every one so end-of-run accounting can surface drops
+// that happen before traffic even reaches a router.
+func (b *builder) hostEgress() sched.Scheduler {
+	q := sched.NewDropTailPkts(128)
+	b.hostEgs = append(b.hostEgs, q)
+	return q
+}
 
 // newRouterNode builds a router node for the scheme; an undeployed
 // router is a plain legacy forwarder regardless of scheme (§8
@@ -93,11 +104,13 @@ func (b *builder) newRouterNode(name string, deployed bool) (*netsim.Node, *push
 	case SchemeTVA:
 		b.taggerSeed++
 		rtr := core.NewRouter(core.RouterConfig{
+			ID:            uint8(b.taggerSeed),
 			Suite:         b.cfg.Suite,
 			CacheEntries:  4096,
 			TrustBoundary: true,
 			Tagger:        pathid.NewSeeded(uint64(b.cfg.Seed)*1315423911 + b.taggerSeed),
 		})
+		rtr.Tracer = b.tracer
 		b.tvaRouters = append(b.tvaRouters, rtr)
 		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
 			if pkt.TTL == 0 {
@@ -175,6 +188,14 @@ func Run(cfg Config) *Result {
 	sim := netsim.New(cfg.Seed + 1)
 	b := &builder{cfg: cfg, sim: sim}
 
+	tel := RunTelemetry{}
+	var tracer *telemetry.RingTracer
+	if cfg.TraceEvents > 0 {
+		tracer = telemetry.NewRingTracer(cfg.TraceEvents)
+		tel.Trace = tracer
+		b.tracer = tracer
+	}
+
 	// Routers (possibly only partially deployed, §8).
 	leftDeployed := cfg.Deployment != DeployNone
 	rightDeployed := cfg.Deployment == DeployFull
@@ -189,6 +210,12 @@ func Run(cfg Config) *Result {
 	right.SetDefault(rl)
 	b.attachPushback(prLeft, lr)
 
+	lr.QueueDelay = &tel.QueueDelay
+	if tracer != nil {
+		lr.Tracer = tracer
+		lr.TraceID = 1 // the left (bottleneck-facing) router
+	}
+
 	if Debug != nil {
 		Debug(lr)
 		if DebugEnq != nil {
@@ -202,13 +229,13 @@ func Run(cfg Config) *Result {
 
 	attachLeft := func(h *host) {
 		hi, li := netsim.Connect(h.node, left, cfg.AccessBps, cfg.LinkDelay,
-			hostEgress(), b.linkSchedFor(cfg.AccessBps, leftDeployed))
+			b.hostEgress(), b.linkSchedFor(cfg.AccessBps, leftDeployed))
 		h.node.SetDefault(hi)
 		left.AddRoute(h.addr, li)
 	}
 	attachRight := func(h *host) {
 		hi, ri := netsim.Connect(h.node, right, cfg.AccessBps, cfg.LinkDelay,
-			hostEgress(), b.linkSchedFor(cfg.AccessBps, rightDeployed))
+			b.hostEgress(), b.linkSchedFor(cfg.AccessBps, rightDeployed))
 		h.node.SetDefault(hi)
 		right.AddRoute(h.addr, ri)
 	}
@@ -225,6 +252,7 @@ func Run(cfg Config) *Result {
 			destPolicy.MarkMisbehaving(src, sim.Now())
 		}
 	}
+	b.instrumentDest(dest, &tel, tracer)
 	attachRight(dest)
 
 	// Colluder: authorizes anything (§5.3).
@@ -258,10 +286,13 @@ func Run(cfg Config) *Result {
 		b.startAttacker(i, attachLeft)
 	}
 
+	b.startSampler(&tel, lr)
+
 	sim.Run(tvatime.Time(cfg.Duration))
 	for _, stop := range b.stops {
 		stop()
 	}
+	b.finishTelemetry(&tel, lr)
 
 	if DebugHosts != nil {
 		DebugHosts(users, dest, b.tvaRouters)
@@ -272,6 +303,7 @@ func Run(cfg Config) *Result {
 		Transfers:             transfers,
 		BottleneckUtilization: lr.Utilization(cfg.Duration),
 		BottleneckDrops:       lr.Stats.DroppedPkts,
+		Telemetry:             tel,
 	}
 	return res
 }
@@ -354,6 +386,7 @@ func (b *builder) startAttacker(i int, attach func(*host)) {
 			pkt.Src, pkt.Dst, pkt.TTL = addr, DestAddr, 64
 			pkt.Proto = packet.ProtoRaw
 			pkt.Size = packet.OuterHdrLen + cfg.AttackPktSize
+			pkt.SentAt = sim.Now()
 			node.Send(pkt)
 		})
 
@@ -372,6 +405,7 @@ func (b *builder) startAttacker(i int, attach func(*host)) {
 			pkt.Src, pkt.Dst, pkt.TTL = addr, DestAddr, 64
 			pkt.Proto = packet.ProtoRaw
 			pkt.Size = packet.OuterHdrLen + hdr.WireSize() + cfg.AttackPktSize
+			pkt.SentAt = sim.Now()
 			node.Send(pkt)
 		})
 

@@ -1,0 +1,144 @@
+// Run-level observability: every experiment carries a RunTelemetry
+// with reason-attributed drop counters, delay histograms, and (when
+// enabled) a virtual-time gauge sampler and a bounded per-packet
+// tracer. All of it is preallocated or fixed-size, so instrumented and
+// uninstrumented runs execute the same hot path (DESIGN.md §8).
+package exp
+
+import (
+	"tva/internal/netsim"
+	"tva/internal/packet"
+	"tva/internal/sched"
+	"tva/internal/telemetry"
+)
+
+// RunTelemetry aggregates one run's observability output.
+type RunTelemetry struct {
+	// SchedDrops attributes the forward bottleneck scheduler's enqueue
+	// drops by reason; SchedDrops.Total() equals
+	// Result.BottleneckDrops exactly.
+	SchedDrops telemetry.DropCounters
+
+	// Demotions counts capability-check failures at TVA routers by
+	// cause. A demotion is not a loss — the packet continues as legacy
+	// traffic (§3.8) — so these are reported separately from drops.
+	Demotions telemetry.DropCounters
+
+	// HostEgressDrops counts packets lost in the hosts' own output
+	// queues. Without it that loss is silent and skews goodput.
+	HostEgressDrops uint64
+
+	// QueueDelay is the distribution of time spent in the forward
+	// bottleneck's output queue (virtual time, enqueue to dequeue).
+	QueueDelay telemetry.Histogram
+
+	// Delivery is the end-to-end latency distribution of packets
+	// arriving at the destination host (send stamp to delivery).
+	Delivery telemetry.Histogram
+
+	// GoodputBytes is the cumulative wire bytes delivered to the
+	// destination host (attack payloads included; compare against
+	// transfer records to separate useful work).
+	GoodputBytes uint64
+
+	// Sampler holds the virtual-time gauge series; nil unless
+	// Config.MetricsInterval > 0.
+	Sampler *telemetry.Sampler
+
+	// Trace holds the last Config.TraceEvents per-packet events at the
+	// bottleneck and destination; nil unless TraceEvents > 0.
+	Trace *telemetry.RingTracer
+}
+
+// instrumentDest wraps the destination host's handler to record
+// end-to-end latency, delivered bytes, and deliver-trace events.
+func (b *builder) instrumentDest(dest *host, tel *RunTelemetry, tracer *telemetry.RingTracer) {
+	sim := b.sim
+	inner := dest.node.Handler
+	dest.node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
+		if pkt.SentAt > 0 {
+			tel.Delivery.Observe(sim.Now().Sub(pkt.SentAt))
+		}
+		tel.GoodputBytes += uint64(pkt.Size)
+		if tracer != nil {
+			tracer.Record(telemetry.Event{
+				Time:  sim.Now(),
+				Kind:  telemetry.EventDeliver,
+				Src:   uint32(pkt.Src),
+				Dst:   uint32(pkt.Dst),
+				Class: uint8(pkt.Class),
+				Size:  pkt.Size,
+			})
+		}
+		inner.Receive(pkt, in)
+	})
+}
+
+// startSampler registers the gauge set and schedules periodic
+// snapshots. Gauge registration order fixes the output column order,
+// so it must not depend on map iteration or timing: scheduler-class
+// gauges, flow-cache occupancy, goodput, then the cumulative
+// per-reason drop counters of the forward bottleneck.
+func (b *builder) startSampler(tel *RunTelemetry, lr *netsim.Iface) {
+	cfg := b.cfg
+	if cfg.MetricsInterval <= 0 {
+		return
+	}
+	capacity := cfg.MetricsCapacity
+	if capacity <= 0 {
+		capacity = int(cfg.Duration/cfg.MetricsInterval) + 2
+		if capacity > 1<<16 {
+			capacity = 1 << 16
+		}
+	}
+	s := telemetry.NewSampler(capacity)
+	tel.Sampler = s
+	sim := b.sim
+
+	if tva, ok := lr.Sched.(*sched.TVA); ok {
+		s.AddGauge("queue_request_pkts", func() float64 { return float64(tva.RequestBacklog()) })
+		s.AddGauge("queue_regular_pkts", func() float64 { return float64(tva.RegularBacklog()) })
+		s.AddGauge("queue_legacy_pkts", func() float64 { return float64(tva.LegacyBacklog()) })
+		s.AddGauge("regular_queues", func() float64 { return float64(tva.RegularQueues()) })
+		s.AddGauge("token_bucket_bytes", func() float64 { return tva.TokenLevel(sim.Now()) })
+	} else {
+		s.AddGauge("queue_pkts", func() float64 { return float64(lr.Sched.Len()) })
+	}
+	if len(b.tvaRouters) > 0 {
+		cache := b.tvaRouters[0].Cache()
+		s.AddGauge("flowcache_entries", func() float64 { return float64(cache.Len()) })
+	}
+	s.AddGauge("goodput_bytes", func() float64 { return float64(tel.GoodputBytes) })
+	if rc, ok := lr.Sched.(sched.ReasonCounter); ok {
+		drops := rc.DropReasons()
+		for i := 0; i < telemetry.NumDropReasons; i++ {
+			reason := telemetry.DropReason(i)
+			s.AddGauge("drops_"+reason.String(), func() float64 { return float64(drops.Get(reason)) })
+		}
+		s.AddGauge("drops_total", func() float64 { return float64(drops.Total()) })
+	}
+
+	stop := sim.Every(cfg.MetricsInterval, func() { s.Sample(sim.Now()) })
+	b.stops = append(b.stops, stop)
+	// One final snapshot after the run so the last row reflects the
+	// final counter values (the consistency invariant tvasim checks).
+	b.finalSample = func() { s.Sample(sim.Now()) }
+}
+
+// finishTelemetry copies end-of-run counter snapshots into tel.
+func (b *builder) finishTelemetry(tel *RunTelemetry, lr *netsim.Iface) {
+	if b.finalSample != nil {
+		b.finalSample()
+	}
+	if rc, ok := lr.Sched.(sched.ReasonCounter); ok {
+		tel.SchedDrops = *rc.DropReasons()
+	}
+	for _, rtr := range b.tvaRouters {
+		tel.Demotions.Merge(&rtr.Demotions)
+	}
+	for _, q := range b.hostEgs {
+		if dc, ok := q.(sched.DropCounter); ok {
+			tel.HostEgressDrops += dc.DropCount()
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tva/internal/tvatime"
+)
+
+func telemetryCfg(d tvatime.Duration) Config {
+	return Config{
+		Scheme:          SchemeTVA,
+		Attack:          AttackLegacyFlood,
+		NumAttackers:    10,
+		Duration:        d,
+		Seed:            1,
+		MetricsInterval: 100 * tvatime.Millisecond,
+	}
+}
+
+// TestTelemetryDropSumMatchesBottleneck asserts the accounting
+// invariant the whole layer hangs on: the reason-attributed counters
+// cover every bottleneck drop exactly — no drop site is missed and
+// none is double-counted — and the sampler's final row agrees.
+func TestTelemetryDropSumMatchesBottleneck(t *testing.T) {
+	d := short(t)
+	res := Run(telemetryCfg(d))
+	tel := &res.Telemetry
+	if res.BottleneckDrops == 0 {
+		t.Fatal("flood produced no drops; the test exercises nothing")
+	}
+	if got := tel.SchedDrops.Total(); got != res.BottleneckDrops {
+		t.Errorf("per-reason drop sum %d != bottleneck drops %d", got, res.BottleneckDrops)
+	}
+	if tel.Sampler == nil || tel.Sampler.Len() == 0 {
+		t.Fatal("sampler missing or empty")
+	}
+	names := tel.Sampler.Names()
+	_, last := tel.Sampler.Row(tel.Sampler.Len() - 1)
+	found := false
+	for i, name := range names {
+		if name == "drops_total" {
+			found = true
+			if got := uint64(last[i]); got != res.BottleneckDrops {
+				t.Errorf("final sample drops_total = %d, want %d", got, res.BottleneckDrops)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("drops_total gauge missing from sampler columns %v", names)
+	}
+}
+
+// TestTelemetryHistogramsAndHostDrops checks the latency histograms
+// fill in and host egress loss (silent drops before any router) is
+// surfaced rather than folded into router totals.
+func TestTelemetryHistogramsAndHostDrops(t *testing.T) {
+	d := short(t)
+	res := Run(telemetryCfg(d))
+	tel := &res.Telemetry
+	if tel.QueueDelay.Count() == 0 {
+		t.Error("queueing-delay histogram empty")
+	}
+	if tel.Delivery.Count() == 0 {
+		t.Error("end-to-end delivery histogram empty")
+	}
+	if q50, q99 := tel.QueueDelay.Quantile(0.5), tel.QueueDelay.Quantile(0.99); q99 < q50 {
+		t.Errorf("queue delay p99 %v < p50 %v", q99, q50)
+	}
+	// Default scenarios never overflow a host's own queue (1 Mb/s
+	// attackers on 10 Mb/s access links), so host egress loss must
+	// read zero — not leak in from router drops.
+	if tel.HostEgressDrops != 0 {
+		t.Errorf("host egress drops = %d, want 0 when access links are unloaded", tel.HostEgressDrops)
+	}
+
+	// An attacker flooding faster than its access link drops in its
+	// own egress queue; that silent pre-router loss must be surfaced
+	// separately from bottleneck drops.
+	over := telemetryCfg(d)
+	over.AttackRateBps = 40_000_000 // 4x the 10 Mb/s access link
+	res = Run(over)
+	if res.Telemetry.HostEgressDrops == 0 {
+		t.Error("oversubscribed access link produced no surfaced host egress drops")
+	}
+}
+
+// TestSamplerDeterministicAcrossWorkers runs the same instrumented
+// configs serially and with 8 workers and requires byte-identical
+// sampler output: observability must not perturb, or be perturbed by,
+// the parallel sweep engine.
+func TestSamplerDeterministicAcrossWorkers(t *testing.T) {
+	d := short(t)
+	cfgs := []Config{telemetryCfg(d), telemetryCfg(d)}
+	cfgs[1].Attack = AttackRequestFlood
+
+	serial := RunMany(cfgs, 1)
+	parallel := RunMany(cfgs, 8)
+	for i := range cfgs {
+		a, b := serial[i].Telemetry.Sampler, parallel[i].Telemetry.Sampler
+		if a == nil || b == nil {
+			t.Fatalf("cfg %d: missing sampler (serial=%v parallel=%v)", i, a != nil, b != nil)
+		}
+		var aj, bj, ac, bc bytes.Buffer
+		if err := a.WriteJSON(&aj); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteJSON(&bj); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aj.Bytes(), bj.Bytes()) {
+			t.Errorf("cfg %d: JSON sampler output differs between 1 and 8 workers", i)
+		}
+		if err := a.WriteCSV(&ac); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteCSV(&bc); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ac.Bytes(), bc.Bytes()) {
+			t.Errorf("cfg %d: CSV sampler output differs between 1 and 8 workers", i)
+		}
+		if ac.Len() == 0 || !strings.HasPrefix(ac.String(), "t_sec") {
+			t.Errorf("cfg %d: CSV output malformed: %q", i, firstLine(ac.String()))
+		}
+	}
+}
+
+// TestTelemetryOffByDefault guards the zero-config contract: without
+// MetricsInterval/TraceEvents the run allocates no sampler or tracer,
+// and enabling them does not change packet-level outcomes.
+func TestTelemetryOffByDefault(t *testing.T) {
+	d := short(t)
+	plain := Run(Config{Scheme: SchemeTVA, Attack: AttackLegacyFlood,
+		NumAttackers: 10, Duration: d, Seed: 1})
+	if plain.Telemetry.Sampler != nil || plain.Telemetry.Trace != nil {
+		t.Error("sampler/tracer allocated without being requested")
+	}
+	instr := Run(telemetryCfg(d))
+	if plain.BottleneckDrops != instr.BottleneckDrops ||
+		plain.CompletionFraction() != instr.CompletionFraction() {
+		t.Errorf("telemetry changed outcomes: drops %d vs %d, completion %.4f vs %.4f",
+			plain.BottleneckDrops, instr.BottleneckDrops,
+			plain.CompletionFraction(), instr.CompletionFraction())
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -30,10 +30,24 @@ type DRR struct {
 
 	bytes int
 	pkts  int
-
-	// Stats.
-	Drops, DropsNoQueue uint64
 }
+
+// EnqueueResult says what DRR.Enqueue did with a packet. Drop
+// accounting lives with the scheduler that owns the DRR (it knows the
+// traffic class and so the telemetry.DropReason); the DRR only reports
+// which bound was hit.
+type EnqueueResult uint8
+
+const (
+	// EnqOK: the packet was queued.
+	EnqOK EnqueueResult = iota
+	// EnqDropQueueFull: the per-queue byte cap would be exceeded.
+	EnqDropQueueFull
+	// EnqDropNoQueue: the queue-count bound prevents creating a queue
+	// for a new key (tag space for requests, flow-cache bound for
+	// regular traffic).
+	EnqDropNoQueue
+)
 
 // flowq buffers one key's packets as a sliding window over pkts:
 // [head:len) are queued. Dequeue advances head instead of reslicing
@@ -100,22 +114,19 @@ func (d *DRR) Bytes() int { return d.bytes }
 // NumQueues returns the number of live per-key queues.
 func (d *DRR) NumQueues() int { return len(d.queues) }
 
-// Enqueue adds pkt to key's queue, creating the queue if needed. It
-// reports false (a drop) when the per-queue byte cap or the queue-count
-// bound would be exceeded.
-func (d *DRR) Enqueue(key uint64, pkt *packet.Packet) bool {
+// Enqueue adds pkt to key's queue, creating the queue if needed, and
+// reports which bound (if any) dropped the packet.
+func (d *DRR) Enqueue(key uint64, pkt *packet.Packet) EnqueueResult {
 	q := d.queues[key]
 	if q == nil {
 		if d.maxQueues > 0 && len(d.queues) >= d.maxQueues {
-			d.DropsNoQueue++
-			return false
+			return EnqDropNoQueue
 		}
 		q = d.newFlowq(key)
 		d.queues[key] = q
 	}
 	if q.byteCount+pkt.Size > d.perQBytes {
-		d.Drops++
-		return false
+		return EnqDropQueueFull
 	}
 	q.push(pkt)
 	q.byteCount += pkt.Size
@@ -124,7 +135,7 @@ func (d *DRR) Enqueue(key uint64, pkt *packet.Packet) bool {
 	if q.next == nil { // not in the active ring
 		d.ringPush(q)
 	}
-	return true
+	return EnqOK
 }
 
 // newFlowq reuses a retired flowq from the free list, or allocates.
@@ -203,8 +214,6 @@ type FIFO struct {
 	byteCap  int // 0 = unlimited
 	pktCap   int // 0 = unlimited
 	curBytes int
-
-	Drops uint64
 }
 
 // NewFIFO returns a FIFO holding at most capBytes of packets.
@@ -231,11 +240,11 @@ func (f *FIFO) Len() int { return len(f.pkts) - f.head }
 // Bytes returns the queued byte count.
 func (f *FIFO) Bytes() int { return f.curBytes }
 
-// Enqueue appends pkt, reporting false on a tail drop.
+// Enqueue appends pkt, reporting false on a tail drop. The caller
+// attributes the drop (the FIFO doesn't know the traffic class).
 func (f *FIFO) Enqueue(pkt *packet.Packet) bool {
 	if (f.byteCap > 0 && f.curBytes+pkt.Size > f.byteCap) ||
 		(f.pktCap > 0 && f.Len() >= f.pktCap) {
-		f.Drops++
 		return false
 	}
 	if f.head > 0 && len(f.pkts) == cap(f.pkts) {
@@ -291,6 +300,13 @@ func (t *TokenBucket) refill(now tvatime.Time) {
 		}
 		t.last = now
 	}
+}
+
+// Level returns the current token level in bytes as of now, without
+// consuming anything. Gauge for the telemetry sampler.
+func (t *TokenBucket) Level(now tvatime.Time) float64 {
+	t.refill(now)
+	return t.tokens
 }
 
 // Allow consumes n bytes of tokens if available and reports success.

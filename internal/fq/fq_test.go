@@ -88,17 +88,14 @@ func TestDRRNewFlowNotStarved(t *testing.T) {
 
 func TestDRRPerQueueCap(t *testing.T) {
 	d := NewDRR(1500, 0, 2500)
-	if !d.Enqueue(1, pkt(1000)) || !d.Enqueue(1, pkt(1000)) {
+	if d.Enqueue(1, pkt(1000)) != EnqOK || d.Enqueue(1, pkt(1000)) != EnqOK {
 		t.Fatal("enqueue under cap failed")
 	}
-	if d.Enqueue(1, pkt(1000)) {
-		t.Error("enqueue over per-queue cap succeeded")
-	}
-	if d.Drops != 1 {
-		t.Errorf("Drops = %d, want 1", d.Drops)
+	if got := d.Enqueue(1, pkt(1000)); got != EnqDropQueueFull {
+		t.Errorf("enqueue over per-queue cap = %v, want EnqDropQueueFull", got)
 	}
 	// Another flow is unaffected.
-	if !d.Enqueue(2, pkt(1000)) {
+	if d.Enqueue(2, pkt(1000)) != EnqOK {
 		t.Error("other flow should not be capped")
 	}
 }
@@ -107,16 +104,13 @@ func TestDRRMaxQueues(t *testing.T) {
 	d := NewDRR(1500, 2, 1<<20)
 	d.Enqueue(1, pkt(100))
 	d.Enqueue(2, pkt(100))
-	if d.Enqueue(3, pkt(100)) {
-		t.Error("third queue should be rejected")
-	}
-	if d.DropsNoQueue != 1 {
-		t.Errorf("DropsNoQueue = %d, want 1", d.DropsNoQueue)
+	if got := d.Enqueue(3, pkt(100)); got != EnqDropNoQueue {
+		t.Errorf("third queue enqueue = %v, want EnqDropNoQueue", got)
 	}
 	// Draining queue 1 frees a slot.
 	d.Dequeue()
 	d.Dequeue()
-	if !d.Enqueue(3, pkt(100)) {
+	if d.Enqueue(3, pkt(100)) != EnqOK {
 		t.Error("queue slot not reclaimed after drain")
 	}
 }
@@ -159,9 +153,6 @@ func TestFIFOOrderAndDrops(t *testing.T) {
 	}
 	if f.Enqueue(c) {
 		t.Error("over-capacity enqueue succeeded")
-	}
-	if f.Drops != 1 {
-		t.Errorf("Drops = %d, want 1", f.Drops)
 	}
 	if f.Dequeue() != a || f.Dequeue() != b || f.Dequeue() != nil {
 		t.Error("FIFO order violated")
@@ -232,6 +223,22 @@ func TestTokenBucketBurstCap(t *testing.T) {
 }
 
 func time100() tvatime.Duration { return 100 * tvatime.Second }
+
+func TestTokenBucketLevel(t *testing.T) {
+	tb := NewTokenBucket(8000, 500) // 1000 B/s
+	now := tvatime.Time(0)
+	if lvl := tb.Level(now); lvl != 500 {
+		t.Fatalf("initial Level = %v, want 500 (full burst)", lvl)
+	}
+	tb.Allow(500, now)
+	if lvl := tb.Level(now); lvl != 0 {
+		t.Fatalf("Level after drain = %v, want 0", lvl)
+	}
+	now = now.Add(100 * tvatime.Millisecond)
+	if lvl := tb.Level(now); lvl < 99 || lvl > 101 {
+		t.Fatalf("Level after 100ms = %v, want ~100", lvl)
+	}
+}
 
 func BenchmarkDRREnqueueDequeue(b *testing.B) {
 	d := NewDRR(1500, 0, 1<<30)

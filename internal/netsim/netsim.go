@@ -16,6 +16,7 @@ import (
 
 	"tva/internal/packet"
 	"tva/internal/sched"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -236,6 +237,17 @@ type Iface struct {
 	// drop-history hook).
 	OnDrop func(pkt *packet.Packet)
 
+	// QueueDelay, if set, observes each dequeued packet's time in this
+	// output queue (virtual time between Enqueue and Dequeue). A single
+	// nil check on the dequeue path; nil costs nothing.
+	QueueDelay *telemetry.Histogram
+
+	// Tracer, if set, receives enqueue/dequeue/drop events for this
+	// interface. TraceID labels the events (set it to the owning
+	// router's id).
+	Tracer  telemetry.Tracer
+	TraceID int
+
 	busy         bool
 	retryPending bool
 }
@@ -262,18 +274,42 @@ func Connect(a, b *Node, bps int64, delay tvatime.Duration, schedAB, schedBA sch
 // transmission if the link is idle.
 func (i *Iface) Send(pkt *packet.Packet) {
 	sim := i.Node.Sim
+	pkt.EnqueuedAt = sim.now
 	if !i.Sched.Enqueue(pkt, sim.now) {
 		i.Stats.DroppedPkts++
 		i.Stats.DroppedBytes += uint64(pkt.Size)
 		if i.OnDrop != nil {
 			i.OnDrop(pkt)
 		}
+		if i.Tracer != nil {
+			ev := i.traceEvent(pkt, telemetry.EventDrop)
+			if rc, ok := i.Sched.(sched.ReasonCounter); ok {
+				ev.Reason = rc.LastDropReason()
+			}
+			i.Tracer.Record(ev)
+		}
 		packet.Release(pkt)
 		return
 	}
 	i.Stats.EnqueuedPkts++
 	i.Stats.EnqueuedBytes += uint64(pkt.Size)
+	if i.Tracer != nil {
+		i.Tracer.Record(i.traceEvent(pkt, telemetry.EventEnqueue))
+	}
 	i.kick()
+}
+
+// traceEvent builds the per-packet event for this interface.
+func (i *Iface) traceEvent(pkt *packet.Packet, kind telemetry.EventKind) telemetry.Event {
+	return telemetry.Event{
+		Time:   i.Node.Sim.now,
+		Kind:   kind,
+		Router: i.TraceID,
+		Src:    uint32(pkt.Src),
+		Dst:    uint32(pkt.Dst),
+		Class:  uint8(pkt.Class),
+		Size:   pkt.Size,
+	}
 }
 
 // kick starts the transmit loop if idle.
@@ -308,6 +344,12 @@ func (i *Iface) txNext() {
 			})
 		}
 		return
+	}
+	if i.QueueDelay != nil {
+		i.QueueDelay.Observe(sim.now.Sub(pkt.EnqueuedAt))
+	}
+	if i.Tracer != nil {
+		i.Tracer.Record(i.traceEvent(pkt, telemetry.EventDequeue))
 	}
 	sim.After(i.txTime(pkt.Size), func() {
 		i.Stats.SentPkts++

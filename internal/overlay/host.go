@@ -14,6 +14,7 @@ import (
 
 	"tva/internal/core"
 	"tva/internal/packet"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -52,10 +53,10 @@ type Host struct {
 	wg     sync.WaitGroup
 
 	// Inbox receives delivered messages. It is buffered; slow
-	// consumers drop (counted in Dropped).
-	Inbox   chan Message
-	mu      sync.Mutex
-	dropped uint64
+	// consumers drop (counted in Dropped under inbox-overflow).
+	Inbox chan Message
+	mu    sync.Mutex
+	drops telemetry.DropCounters
 }
 
 // NewHost binds the proxy and starts its loops.
@@ -104,7 +105,14 @@ func (h *Host) UDPAddr() *net.UDPAddr { return h.conn.LocalAddr().(*net.UDPAddr)
 func (h *Host) Dropped() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.dropped
+	return h.drops.Get(telemetry.DropInboxOverflow)
+}
+
+// DropReasons returns a snapshot of the host's per-reason drop counts.
+func (h *Host) DropReasons() telemetry.DropCounters {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.drops
 }
 
 // transmit marshals and sends a shim packet to the gateway. Runs on
@@ -127,7 +135,7 @@ func (h *Host) deliver(src packet.Addr, proto packet.Proto, payload any, size in
 	case h.Inbox <- msg:
 	default:
 		h.mu.Lock()
-		h.dropped++
+		h.drops.Inc(telemetry.DropInboxOverflow)
 		h.mu.Unlock()
 	}
 }
@@ -159,6 +167,28 @@ func (h *Host) HasCaps(dst packet.Addr) bool {
 		return <-res
 	case <-h.closed:
 		return false
+	}
+}
+
+// LastDemotion reports the most recent demotion evidence involving
+// peer: the demoting router's id and reason, carried back in return
+// information (§3.8). Diagnostics use it to explain capability-path
+// failures instead of reporting a bare timeout.
+func (h *Host) LastDemotion(peer packet.Addr) (core.Demotion, bool) {
+	type answer struct {
+		d  core.Demotion
+		ok bool
+	}
+	res := make(chan answer, 1)
+	select {
+	case h.ops <- func() {
+		d, ok := h.shim.LastDemotion(peer)
+		res <- answer{d, ok}
+	}:
+		a := <-res
+		return a.d, a.ok
+	case <-h.closed:
+		return core.Demotion{}, false
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"tva/internal/core"
 	"tva/internal/packet"
 	"tva/internal/sched"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -159,6 +160,30 @@ func (r *Router) SetDefaultRoute(via string) error {
 	r.def = p
 	r.mu.Unlock()
 	return nil
+}
+
+// Core exposes the router's protocol engine (for diagnostics
+// endpoints; its counters are owned by the receive goroutine, so reads
+// are approximate while traffic flows).
+func (r *Router) Core() *core.Router { return r.core }
+
+// SchedDrops sums per-reason drop counts across all port schedulers.
+func (r *Router) SchedDrops() telemetry.DropCounters {
+	var total telemetry.DropCounters
+	r.mu.Lock()
+	ports := make([]*port, 0, len(r.ports))
+	for _, p := range r.ports {
+		ports = append(ports, p)
+	}
+	r.mu.Unlock()
+	for _, p := range ports {
+		p.mu.Lock()
+		if rc, ok := p.q.(sched.ReasonCounter); ok {
+			total.Merge(rc.DropReasons())
+		}
+		p.mu.Unlock()
+	}
+	return total
 }
 
 func (r *Router) route(dst packet.Addr) *port {

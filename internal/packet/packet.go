@@ -12,6 +12,8 @@ package packet
 
 import (
 	"fmt"
+
+	"tva/internal/tvatime"
 )
 
 // Addr is a 32-bit network address, formatted like IPv4 dotted quad.
@@ -136,14 +138,27 @@ func (g Grant) N() int64 { return int64(g.NKB) * 1024 }
 // notification, a capability grant, or both.
 type ReturnInfo struct {
 	DemotionNotice bool
-	Grant          *Grant
+	// DemoteReason/DemoteRouter echo the demoted packet's cause bytes
+	// back to the sender (valid only when DemotionNotice is set).
+	// DemoteReason is a telemetry.DropReason value kept as a raw byte
+	// so packet does not depend on telemetry.
+	DemoteReason uint8
+	DemoteRouter uint8
+	Grant        *Grant
 }
 
 // CapHdr is the TVA shim header carried by all non-legacy packets.
 type CapHdr struct {
 	Kind    Kind
 	Demoted bool
-	Proto   Proto // upper protocol
+	// DemoteReason/DemoteRouter are stamped by the router that demotes
+	// a packet (§3.8): which check failed (a telemetry.DropReason value
+	// as a raw byte) and which router it was. They ride the last two
+	// bytes of the demoted wire encoding so the destination can echo
+	// them in return info; zero when Demoted is false.
+	DemoteReason uint8
+	DemoteRouter uint8
+	Proto        Proto // upper protocol
 
 	// Request packets (and the renewal part of renewal packets).
 	Request RequestHdr
@@ -185,6 +200,12 @@ type Packet struct {
 	// content does not matter.
 	Payload any
 
+	// SentAt is stamped by the sending host shim (virtual time) and
+	// EnqueuedAt by each interface at Enqueue; telemetry histograms
+	// read them at delivery/dequeue. Neither is on the wire.
+	SentAt     tvatime.Time
+	EnqueuedAt tvatime.Time
+
 	// scratch is the packet-owned reusable shim header behind NewHdr
 	// and UnmarshalReuse; its slice capacity survives resets so the
 	// hot path does not reallocate per packet. pooled marks packets
@@ -207,8 +228,12 @@ func (p *Packet) HdrWireSize() int {
 
 // WireSize returns the marshaled size of the shim header.
 func (h *CapHdr) WireSize() int {
-	// Common header: 2 bytes (version|type, upper protocol).
+	// Common header: 2 bytes (version|type, upper protocol), plus the
+	// demotion cause bytes when the demoted bit is set.
 	n := 2
+	if h.Demoted {
+		n += 2 // demote reason, demoting router
+	}
 	switch h.Kind {
 	case KindRequest:
 		n += 2 + 2*len(h.Request.PathIDs) + 8*len(h.Request.PreCaps)
@@ -222,6 +247,9 @@ func (h *CapHdr) WireSize() int {
 	}
 	if h.Return != nil {
 		n++ // return type byte
+		if h.Return.DemotionNotice {
+			n += 2 // echoed demote reason, demoting router
+		}
 		if h.Return.Grant != nil {
 			n += 1 + 2 + 8*len(h.Return.Grant.Caps) // count, N|T, caps
 		}
@@ -246,6 +274,8 @@ func (p *Packet) NewHdr() *CapHdr {
 func (h *CapHdr) Reset() {
 	h.Kind = 0
 	h.Demoted = false
+	h.DemoteReason = 0
+	h.DemoteRouter = 0
 	h.Proto = 0
 	h.Request.PathIDs = h.Request.PathIDs[:0]
 	h.Request.PreCaps = h.Request.PreCaps[:0]

@@ -168,11 +168,18 @@ func TestRoundtripRenewal(t *testing.T) {
 func TestRoundtripDemoted(t *testing.T) {
 	p := &Packet{
 		Src: 1, Dst: 2, TTL: 1, Proto: ProtoRaw,
-		Hdr: &CapHdr{Kind: KindNonceOnly, Proto: ProtoRaw, Nonce: 5, Demoted: true},
+		Hdr: &CapHdr{
+			Kind: KindNonceOnly, Proto: ProtoRaw, Nonce: 5,
+			Demoted: true, DemoteReason: 3, DemoteRouter: 7,
+		},
 	}
 	q := roundtrip(t, p)
 	if !q.Hdr.Demoted {
 		t.Error("demoted bit lost on the wire")
+	}
+	if q.Hdr.DemoteReason != 3 || q.Hdr.DemoteRouter != 7 {
+		t.Errorf("demotion cause lost on the wire: reason=%d router=%d",
+			q.Hdr.DemoteReason, q.Hdr.DemoteRouter)
 	}
 }
 
@@ -252,6 +259,10 @@ func randomHdr(rng *rand.Rand) *CapHdr {
 		NKB:     uint16(rng.Intn(MaxNKB + 1)),
 		TSec:    uint8(rng.Intn(MaxTSeconds + 1)),
 	}
+	if h.Demoted {
+		h.DemoteReason = uint8(rng.Intn(256))
+		h.DemoteRouter = uint8(rng.Intn(256))
+	}
 	fillReq := func() {
 		for i := 0; i < rng.Intn(4); i++ {
 			h.Request.PathIDs = append(h.Request.PathIDs, PathID(rng.Uint32()))
@@ -278,6 +289,10 @@ func randomHdr(rng *rand.Rand) *CapHdr {
 	}
 	if rng.Intn(2) == 0 {
 		ret := &ReturnInfo{DemotionNotice: rng.Intn(2) == 0}
+		if ret.DemotionNotice {
+			ret.DemoteReason = uint8(rng.Intn(256))
+			ret.DemoteRouter = uint8(rng.Intn(256))
+		}
 		if rng.Intn(2) == 0 {
 			g := &Grant{NKB: uint16(rng.Intn(MaxNKB + 1)), TSec: uint8(rng.Intn(MaxTSeconds + 1))}
 			for i := 0; i < rng.Intn(4); i++ {

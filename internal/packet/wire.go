@@ -87,6 +87,9 @@ func (h *CapHdr) marshal(buf []byte) ([]byte, error) {
 		t |= typeReturn
 	}
 	buf = append(buf, Version<<4|t, byte(h.Proto))
+	if h.Demoted {
+		buf = append(buf, h.DemoteReason, h.DemoteRouter)
+	}
 
 	switch h.Kind {
 	case KindRequest:
@@ -125,6 +128,9 @@ func (h *CapHdr) marshal(buf []byte) ([]byte, error) {
 			rt |= returnGrant
 		}
 		buf = append(buf, rt)
+		if h.Return.DemotionNotice {
+			buf = append(buf, h.Return.DemoteReason, h.Return.DemoteRouter)
+		}
 		if g := h.Return.Grant; g != nil {
 			if len(g.Caps) > MaxCaps {
 				return nil, ErrTooMany
@@ -237,6 +243,14 @@ func (h *CapHdr) unmarshal(data []byte) (int, error) {
 	h.Demoted = t&typeDemoted != 0
 	h.Proto = Proto(data[1])
 	off := 2
+	if h.Demoted {
+		if len(data) < off+2 {
+			return 0, ErrTruncated
+		}
+		h.DemoteReason = data[off]
+		h.DemoteRouter = data[off+1]
+		off += 2
+	}
 	var err error
 	switch h.Kind {
 	case KindRequest:
@@ -278,6 +292,14 @@ func (h *CapHdr) unmarshal(data []byte) (int, error) {
 		rt := data[off]
 		off++
 		ret := &ReturnInfo{DemotionNotice: rt&returnDemotion != 0}
+		if ret.DemotionNotice {
+			if len(data) < off+2 {
+				return 0, ErrTruncated
+			}
+			ret.DemoteReason = data[off]
+			ret.DemoteRouter = data[off+1]
+			off += 2
+		}
 		if rt&returnGrant != 0 {
 			if len(data) < off+3 {
 				return 0, ErrTruncated

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"tva/internal/packet"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -93,7 +94,6 @@ func (f *filter) allow(size int, now tvatime.Time) bool {
 
 // Stats counts pushback activity.
 type Stats struct {
-	FilterDrops     uint64
 	FiltersActive   int
 	Activations     uint64
 	Releases        uint64
@@ -122,7 +122,12 @@ type Router struct {
 	lastSweep tvatime.Time
 	interval  tvatime.Duration
 	Stats     Stats
+	// Drops attributes packets discarded by rate-limit filters.
+	Drops telemetry.DropCounters
 }
+
+// FilterDrops returns the packets discarded by rate-limit filters.
+func (r *Router) FilterDrops() uint64 { return r.Drops.Get(telemetry.DropFilter) }
 
 // NewRouter returns a pushback router watching one congested output
 // link of capacity outBps.
@@ -152,7 +157,7 @@ func (r *Router) Arrival(pkt *packet.Packet, in int, now tvatime.Time) bool {
 	key := aggKey{linkID(in), pkt.Dst}
 	r.arrivals[key] += float64(pkt.Size)
 	if f := r.filters[key]; f != nil && !f.allow(pkt.Size, now) {
-		r.Stats.FilterDrops++
+		r.Drops.Inc(telemetry.DropFilter)
 		return false
 	}
 	return true

@@ -137,7 +137,7 @@ func TestFiltersThrottleAggregate(t *testing.T) {
 	if passed > 450 {
 		t.Errorf("filter passed %d of 800 KB; limit should bind near the link share", passed)
 	}
-	if r.Stats.FilterDrops == 0 {
+	if r.FilterDrops() == 0 {
 		t.Error("no filter drops recorded")
 	}
 }

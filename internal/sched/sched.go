@@ -8,6 +8,7 @@ package sched
 import (
 	"tva/internal/fq"
 	"tva/internal/packet"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -26,10 +27,44 @@ type DropCounter interface {
 	DropCount() uint64
 }
 
+// ReasonCounter is implemented by schedulers that attribute every drop
+// to a telemetry.DropReason. DropReasons exposes the per-reason
+// counters; LastDropReason reports why the most recent Enqueue
+// returned false, so a caller (e.g. a simulated interface with a
+// tracer) can tag the drop event without re-deriving the reason.
+type ReasonCounter interface {
+	DropReasons() *telemetry.DropCounters
+	LastDropReason() telemetry.DropReason
+}
+
+// queueDropReason classifies a FIFO tail-drop by what the packet was:
+// demoted packets (§3.8) are reported separately from packets that
+// were legacy all along, and request/regular classes map to their
+// queue-full reasons.
+func queueDropReason(pkt *packet.Packet) telemetry.DropReason {
+	if pkt.Hdr != nil && pkt.Hdr.Demoted {
+		return telemetry.DropDemoted
+	}
+	switch {
+	case pkt.Class == packet.ClassRequest ||
+		(pkt.Hdr != nil && pkt.Hdr.Kind == packet.KindRequest):
+		return telemetry.DropRequestQueueFull
+	case pkt.Class == packet.ClassRegular:
+		return telemetry.DropRegularQueueFull
+	default:
+		return telemetry.DropLegacyQueueFull
+	}
+}
+
 // DropTail is a single FIFO for all classes: the legacy Internet
 // router, and also host egress queues.
 type DropTail struct {
 	q *fq.FIFO
+
+	// Drops counts tail drops by reason (classified by what the packet
+	// was, since a shared FIFO has no classes of its own).
+	Drops    telemetry.DropCounters
+	lastDrop telemetry.DropReason
 }
 
 // NewDropTail returns a FIFO scheduler with the given byte capacity.
@@ -44,7 +79,14 @@ func NewDropTailPkts(capPkts int) *DropTail {
 }
 
 // Enqueue implements Scheduler.
-func (s *DropTail) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool { return s.q.Enqueue(pkt) }
+func (s *DropTail) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
+	if !s.q.Enqueue(pkt) {
+		s.lastDrop = queueDropReason(pkt)
+		s.Drops.Inc(s.lastDrop)
+		return false
+	}
+	return true
+}
 
 // Dequeue implements Scheduler.
 func (s *DropTail) Dequeue(_ tvatime.Time) (*packet.Packet, tvatime.Time) {
@@ -55,7 +97,13 @@ func (s *DropTail) Dequeue(_ tvatime.Time) (*packet.Packet, tvatime.Time) {
 func (s *DropTail) Len() int { return s.q.Len() }
 
 // DropCount implements DropCounter.
-func (s *DropTail) DropCount() uint64 { return s.q.Drops }
+func (s *DropTail) DropCount() uint64 { return s.Drops.Total() }
+
+// DropReasons implements ReasonCounter.
+func (s *DropTail) DropReasons() *telemetry.DropCounters { return &s.Drops }
+
+// LastDropReason implements ReasonCounter.
+func (s *DropTail) LastDropReason() telemetry.DropReason { return s.lastDrop }
 
 // TVAConfig parameterizes the TVA link scheduler.
 type TVAConfig struct {
@@ -131,7 +179,9 @@ type TVA struct {
 	// waiting for rate-limit tokens.
 	holdover *packet.Packet
 
-	Drops uint64
+	// Drops attributes every dropped packet to a reason.
+	Drops    telemetry.DropCounters
+	lastDrop telemetry.DropReason
 }
 
 // NewTVA returns a TVA link scheduler.
@@ -160,21 +210,49 @@ func requestKey(pkt *packet.Packet) uint64 {
 }
 
 // Enqueue implements Scheduler, classifying on pkt.Class (assigned by
-// router capability processing).
+// router capability processing). Every drop is attributed: request
+// drops to the rate limiter when it is what's backing the class up
+// (a holdover is parked waiting for tokens) or to the per-path queue
+// bound otherwise; regular drops to the per-destination byte cap or,
+// when the queue-count bound (derived from the flow-cache size, §3.9)
+// is hit, to flow-cache pressure; legacy drops to demotion (§3.8) or
+// plain legacy overflow.
 func (s *TVA) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
-	var ok bool
 	switch pkt.Class {
 	case packet.ClassRequest:
-		ok = s.request.Enqueue(requestKey(pkt), pkt)
+		if s.request.Enqueue(requestKey(pkt), pkt) != fq.EnqOK {
+			if s.holdover != nil {
+				s.drop(telemetry.DropRequestRateLimited)
+			} else {
+				s.drop(telemetry.DropRequestQueueFull)
+			}
+			return false
+		}
 	case packet.ClassRegular:
-		ok = s.regular.Enqueue(uint64(pkt.Dst), pkt)
+		switch s.regular.Enqueue(uint64(pkt.Dst), pkt) {
+		case fq.EnqDropQueueFull:
+			s.drop(telemetry.DropRegularQueueFull)
+			return false
+		case fq.EnqDropNoQueue:
+			s.drop(telemetry.DropFlowCachePressure)
+			return false
+		}
 	default:
-		ok = s.legacy.Enqueue(pkt)
+		if !s.legacy.Enqueue(pkt) {
+			if pkt.Hdr != nil && pkt.Hdr.Demoted {
+				s.drop(telemetry.DropDemoted)
+			} else {
+				s.drop(telemetry.DropLegacyQueueFull)
+			}
+			return false
+		}
 	}
-	if !ok {
-		s.Drops++
-	}
-	return ok
+	return true
+}
+
+func (s *TVA) drop(r telemetry.DropReason) {
+	s.lastDrop = r
+	s.Drops.Inc(r)
 }
 
 // Dequeue implements Scheduler: requests first (within their rate
@@ -211,10 +289,40 @@ func (s *TVA) Len() int {
 }
 
 // DropCount implements DropCounter.
-func (s *TVA) DropCount() uint64 { return s.Drops }
+func (s *TVA) DropCount() uint64 { return s.Drops.Total() }
+
+// DropReasons implements ReasonCounter.
+func (s *TVA) DropReasons() *telemetry.DropCounters { return &s.Drops }
+
+// LastDropReason implements ReasonCounter.
+func (s *TVA) LastDropReason() telemetry.DropReason { return s.lastDrop }
 
 // LegacyDrops exposes drops in the legacy class (used in tests).
-func (s *TVA) LegacyDrops() uint64 { return s.legacy.Drops }
+func (s *TVA) LegacyDrops() uint64 {
+	return s.Drops.Get(telemetry.DropLegacyQueueFull) + s.Drops.Get(telemetry.DropDemoted)
+}
+
+// RequestBacklog returns queued request packets (including a holdover
+// parked at the rate limiter). Sampler gauge.
+func (s *TVA) RequestBacklog() int {
+	n := s.request.Len()
+	if s.holdover != nil {
+		n++
+	}
+	return n
+}
+
+// RegularBacklog returns queued regular packets. Sampler gauge.
+func (s *TVA) RegularBacklog() int { return s.regular.Len() }
+
+// LegacyBacklog returns queued legacy/demoted packets. Sampler gauge.
+func (s *TVA) LegacyBacklog() int { return s.legacy.Len() }
+
+// RegularQueues returns the number of live per-destination queues.
+func (s *TVA) RegularQueues() int { return s.regular.NumQueues() }
+
+// TokenLevel returns the request rate limiter's token level in bytes.
+func (s *TVA) TokenLevel(now tvatime.Time) float64 { return s.bucket.Level(now) }
 
 // SIFF is the SIFF baseline scheduler: authorized (capability-carrying)
 // packets in a strict-priority FIFO over everything else; requests are
@@ -224,7 +332,9 @@ type SIFF struct {
 	high *fq.FIFO
 	low  *fq.FIFO
 
-	Drops uint64
+	// Drops attributes every dropped packet to a reason.
+	Drops    telemetry.DropCounters
+	lastDrop telemetry.DropReason
 }
 
 // NewSIFF returns a SIFF scheduler with the given per-class packet
@@ -248,7 +358,8 @@ func (s *SIFF) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
 		ok = s.low.Enqueue(pkt)
 	}
 	if !ok {
-		s.Drops++
+		s.lastDrop = queueDropReason(pkt)
+		s.Drops.Inc(s.lastDrop)
 	}
 	return ok
 }
@@ -265,4 +376,10 @@ func (s *SIFF) Dequeue(_ tvatime.Time) (*packet.Packet, tvatime.Time) {
 func (s *SIFF) Len() int { return s.high.Len() + s.low.Len() }
 
 // DropCount implements DropCounter.
-func (s *SIFF) DropCount() uint64 { return s.Drops }
+func (s *SIFF) DropCount() uint64 { return s.Drops.Total() }
+
+// DropReasons implements ReasonCounter.
+func (s *SIFF) DropReasons() *telemetry.DropCounters { return &s.Drops }
+
+// LastDropReason implements ReasonCounter.
+func (s *SIFF) LastDropReason() telemetry.DropReason { return s.lastDrop }

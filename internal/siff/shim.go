@@ -143,6 +143,7 @@ func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) 
 	pkt.Proto = proto
 	pkt.Size = packet.OuterHdrLen + h.WireSize() + size
 	pkt.Payload = payload
+	pkt.SentAt = now
 	s.Output(pkt)
 }
 

@@ -24,6 +24,7 @@ import (
 	"tva/internal/capability"
 	"tva/internal/mac"
 	"tva/internal/packet"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -106,7 +107,6 @@ func (m *Marker) Check(src, dst packet.Addr, v uint64, now tvatime.Time) bool {
 type RouterStats struct {
 	Requests uint64
 	Valid    uint64
-	Dropped  uint64
 	Legacy   uint64
 }
 
@@ -114,7 +114,13 @@ type RouterStats struct {
 type Router struct {
 	marker *Marker
 	Stats  RouterStats
+	// Drops attributes verification drops by reason (a failed or
+	// malformed mark is cap-invalid in the shared taxonomy).
+	Drops telemetry.DropCounters
 }
+
+// Dropped returns the total packets dropped by mark verification.
+func (r *Router) Dropped() uint64 { return r.Drops.Total() }
 
 // NewRouter returns a SIFF router.
 func NewRouter(suite capability.Suite, secretPeriod tvatime.Duration) *Router {
@@ -148,13 +154,13 @@ func (r *Router) Process(pkt *packet.Packet, now tvatime.Time) (class packet.Cla
 		return pkt.Class, false
 	case packet.KindRegular:
 		if int(h.Ptr) >= len(h.Caps) {
-			r.Stats.Dropped++
+			r.Drops.Inc(telemetry.DropCapInvalid)
 			return packet.ClassLegacy, true
 		}
 		mark := h.Caps[h.Ptr]
 		h.Ptr++
 		if !r.marker.Check(pkt.Src, pkt.Dst, mark, now) {
-			r.Stats.Dropped++
+			r.Drops.Inc(telemetry.DropCapInvalid)
 			return packet.ClassLegacy, true
 		}
 		r.Stats.Valid++

@@ -6,6 +6,7 @@ import (
 
 	"tva/internal/capability"
 	"tva/internal/packet"
+	"tva/internal/telemetry"
 	"tva/internal/tvatime"
 )
 
@@ -79,8 +80,11 @@ func TestRouterValidAndInvalidMarks(t *testing.T) {
 	if _, drop := r.Process(bad, at(1)); !drop {
 		t.Error("invalid mark must be dropped, not demoted (SIFF)")
 	}
-	if r.Stats.Dropped != 1 {
-		t.Errorf("Dropped = %d, want 1", r.Stats.Dropped)
+	if r.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", r.Dropped())
+	}
+	if r.Drops.Get(telemetry.DropCapInvalid) != 1 {
+		t.Errorf("drop not attributed to cap-invalid: %+v", r.Drops)
 	}
 }
 

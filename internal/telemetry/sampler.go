@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"tva/internal/tvatime"
+)
+
+// Sampler snapshots a fixed set of named gauges into preallocated ring
+// buffers on a virtual-time interval. Gauges are registered once (in a
+// deterministic order — registration order is the column order of the
+// output), then Sample(now) reads every gauge with a plain function
+// call and stores the row with array writes. When the ring fills, the
+// oldest rows are overwritten, so a sampler holds the most recent
+// Capacity rows of the run.
+//
+// All output formatting is fixed (strconv with explicit precision), so
+// two runs of the same configuration produce byte-identical series
+// regardless of worker count or host.
+type Sampler struct {
+	names  []string
+	gauges []func() float64
+
+	cap    int
+	times  []tvatime.Time // ring, len == cap once allocated
+	values []float64      // ring, row i at values[i*len(names):]
+	next   int            // next ring slot to write
+	total  int            // rows ever written
+	sealed bool           // first Sample seals the gauge set
+}
+
+// NewSampler returns a sampler holding at most capacity rows.
+func NewSampler(capacity int) *Sampler {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Sampler{cap: capacity}
+}
+
+// AddGauge registers a named gauge. Must be called before the first
+// Sample; registration order fixes the output column order.
+func (s *Sampler) AddGauge(name string, fn func() float64) {
+	if s.sealed {
+		panic("telemetry: AddGauge after first Sample")
+	}
+	s.names = append(s.names, name)
+	s.gauges = append(s.gauges, fn)
+}
+
+// Sample reads every gauge and records one row stamped now.
+func (s *Sampler) Sample(now tvatime.Time) {
+	if !s.sealed {
+		s.sealed = true
+		s.times = make([]tvatime.Time, s.cap)
+		s.values = make([]float64, s.cap*len(s.gauges))
+	}
+	i := s.next
+	s.times[i] = now
+	row := s.values[i*len(s.gauges) : (i+1)*len(s.gauges)]
+	for j, fn := range s.gauges {
+		row[j] = fn()
+	}
+	s.next = (s.next + 1) % s.cap
+	s.total++
+}
+
+// Names returns the gauge names in column order.
+func (s *Sampler) Names() []string { return s.names }
+
+// Len returns the number of rows currently held.
+func (s *Sampler) Len() int {
+	if s.total < s.cap {
+		return s.total
+	}
+	return s.cap
+}
+
+// Row returns the i-th held row (0 = oldest) as its timestamp and
+// values slice. The slice aliases the ring; do not retain it across
+// another Sample.
+func (s *Sampler) Row(i int) (tvatime.Time, []float64) {
+	n := s.Len()
+	if i < 0 || i >= n {
+		return 0, nil
+	}
+	start := 0
+	if s.total > s.cap {
+		start = s.next
+	}
+	k := (start + i) % s.cap
+	return s.times[k], s.values[k*len(s.gauges) : (k+1)*len(s.gauges)]
+}
+
+// formatValue renders a gauge value deterministically: integers (the
+// common case — counters, queue depths) without a decimal point,
+// everything else with 'g' formatting.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCSV emits the held rows as CSV: a header of t_sec plus gauge
+// names, then one row per sample with time in seconds.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "t_sec")
+	for _, n := range s.names {
+		fmt.Fprint(bw, ",", n)
+	}
+	fmt.Fprintln(bw)
+	for i := 0; i < s.Len(); i++ {
+		t, row := s.Row(i)
+		fmt.Fprint(bw, strconv.FormatFloat(t.Sub(0).Seconds(), 'f', 6, 64))
+		for _, v := range row {
+			fmt.Fprint(bw, ",", formatValue(v))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteJSON emits the held rows as a single JSON object:
+//
+//	{"columns": ["t_sec", ...], "rows": [[t, v, ...], ...]}
+//
+// hand-rendered with fixed formatting so output is byte-stable.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, `{"columns":["t_sec"`)
+	for _, n := range s.names {
+		fmt.Fprintf(bw, ",%q", n)
+	}
+	fmt.Fprint(bw, "],\n \"rows\":[")
+	for i := 0; i < s.Len(); i++ {
+		t, row := s.Row(i)
+		if i > 0 {
+			fmt.Fprint(bw, ",")
+		}
+		fmt.Fprint(bw, "\n  [", strconv.FormatFloat(t.Sub(0).Seconds(), 'f', 6, 64))
+		for _, v := range row {
+			fmt.Fprint(bw, ",", formatValue(v))
+		}
+		fmt.Fprint(bw, "]")
+	}
+	fmt.Fprintln(bw, "\n ]}")
+	return bw.Flush()
+}

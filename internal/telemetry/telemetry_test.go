@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"tva/internal/tvatime"
+)
+
+func TestDropReasonNames(t *testing.T) {
+	seen := map[string]bool{}
+	for r := DropReason(0); int(r) < NumDropReasons; r++ {
+		name := r.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("reason %d has no name", r)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate reason name %q", name)
+		}
+		seen[name] = true
+	}
+	if DropReason(200).String() != "unknown" {
+		t.Fatalf("out-of-range reason should stringify as unknown")
+	}
+}
+
+func TestDropCounters(t *testing.T) {
+	var c DropCounters
+	c.Inc(DropCapExpired)
+	c.Inc(DropCapExpired)
+	c.Add(DropFilter, 3)
+	if got := c.Get(DropCapExpired); got != 2 {
+		t.Fatalf("Get(cap-expired) = %d, want 2", got)
+	}
+	if got := c.Total(); got != 5 {
+		t.Fatalf("Total = %d, want 5", got)
+	}
+	var d DropCounters
+	d.Inc(DropCapInvalid)
+	d.Merge(&c)
+	if got := d.Total(); got != 6 {
+		t.Fatalf("merged Total = %d, want 6", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the power-of-two bucket edges:
+// bucket 0 holds d <= 0, bucket i holds [2^(i-1), 2^i).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d      tvatime.Duration
+		bucket int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1025, 11},
+		{tvatime.Duration(1 << 62), 63},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.d)
+		if got := h.Bucket(tc.bucket); got != 1 {
+			// Find where it actually landed for the failure message.
+			landed := -1
+			for i := 0; i < h.NumBuckets(); i++ {
+				if h.Bucket(i) == 1 {
+					landed = i
+				}
+			}
+			t.Errorf("Observe(%d): landed in bucket %d, want %d", tc.d, landed, tc.bucket)
+		}
+		if tc.bucket > 0 && tc.bucket < 63 {
+			lo := BucketLower(tc.bucket)
+			if int64(tc.d) < lo || int64(tc.d) >= lo*2 {
+				t.Errorf("bucket %d bounds [%d,%d) exclude sample %d", tc.bucket, lo, lo*2, tc.d)
+			}
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []tvatime.Duration{10, 20, 30, 40} {
+		h.Observe(d)
+	}
+	if h.Count() != 4 || h.Sum() != 100 || h.Mean() != 25 {
+		t.Fatalf("count/sum/mean = %d/%d/%d, want 4/100/25", h.Count(), h.Sum(), h.Mean())
+	}
+	// All samples fall in [8,64); the median upper bound must too.
+	if q := h.Quantile(0.5); q < 16 || q > 64 {
+		t.Fatalf("Quantile(0.5) = %d, want within (16,64]", q)
+	}
+	var h2 Histogram
+	h2.Observe(1000)
+	h2.Merge(&h)
+	if h2.Count() != 5 || h2.Sum() != 1100 {
+		t.Fatalf("after merge count/sum = %d/%d, want 5/1100", h2.Count(), h2.Sum())
+	}
+}
+
+func TestSamplerRing(t *testing.T) {
+	s := NewSampler(3)
+	var x float64
+	s.AddGauge("x", func() float64 { return x })
+	for i := 1; i <= 5; i++ {
+		x = float64(i)
+		s.Sample(tvatime.Time(i))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (capacity)", s.Len())
+	}
+	// Oldest two rows were overwritten; held rows are samples 3,4,5.
+	for i := 0; i < 3; i++ {
+		tm, row := s.Row(i)
+		if int64(tm) != int64(i+3) || row[0] != float64(i+3) {
+			t.Fatalf("row %d = (t=%d, x=%v), want (t=%d, x=%d)", i, tm, row[0], i+3, i+3)
+		}
+	}
+}
+
+func TestSamplerOutputDeterministic(t *testing.T) {
+	build := func() string {
+		s := NewSampler(16)
+		v := 0.0
+		s.AddGauge("count", func() float64 { v++; return v })
+		s.AddGauge("frac", func() float64 { return v / 3 })
+		for i := 0; i < 4; i++ {
+			s.Sample(tvatime.Time(i) * tvatime.Time(tvatime.Second))
+		}
+		var sb strings.Builder
+		if err := s.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("sampler output not byte-identical across runs:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `"columns":["t_sec","count","frac"]`) {
+		t.Fatalf("JSON header missing columns: %s", a)
+	}
+	if !strings.Contains(a, "t_sec,count,frac") {
+		t.Fatalf("CSV header missing: %s", a)
+	}
+}
+
+func TestRingTracerBounded(t *testing.T) {
+	tr := NewRingTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Time: tvatime.Time(i), Kind: EventDrop, Reason: DropFilter})
+	}
+	if tr.Len() != 4 || tr.Total() != 10 {
+		t.Fatalf("Len/Total = %d/%d, want 4/10", tr.Len(), tr.Total())
+	}
+	for i := 0; i < 4; i++ {
+		if got := tr.Event(i).Time; int64(got) != int64(i+6) {
+			t.Fatalf("event %d time = %d, want %d (oldest-first)", i, got, i+6)
+		}
+	}
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "reason=filter") {
+		t.Fatalf("trace text missing drop reason: %s", sb.String())
+	}
+}
+
+// TestTracerRecordNoAlloc pins the hot-path property: recording into a
+// ring tracer does not allocate.
+func TestTracerRecordNoAlloc(t *testing.T) {
+	tr := NewRingTracer(128)
+	ev := Event{Time: 1, Kind: EventEnqueue, Router: 3, Src: 1, Dst: 2, Size: 1500}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Record(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("RingTracer.Record allocates %v/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"tva/internal/tvatime"
+)
+
+// EventKind labels a per-packet trace event.
+type EventKind uint8
+
+const (
+	// EventClassify: a router finished capability processing and
+	// assigned the packet a class.
+	EventClassify EventKind = iota
+	// EventEnqueue: the packet entered a link output queue.
+	EventEnqueue
+	// EventDequeue: the packet left a link output queue for the wire.
+	EventDequeue
+	// EventDrop: the packet was discarded (Reason is valid).
+	EventDrop
+	// EventDeliver: the packet reached its destination host.
+	EventDeliver
+)
+
+var eventKindNames = [...]string{"classify", "enqueue", "dequeue", "drop", "deliver"}
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one per-packet trace record. It is a flat value struct so
+// recording copies it into a preallocated ring without allocating.
+type Event struct {
+	Time   tvatime.Time
+	Kind   EventKind
+	Router int    // router/interface id, -1 if not applicable
+	Src    uint32 // packet source address
+	Dst    uint32 // packet destination address
+	Class  uint8  // packet.Class at event time
+	Reason DropReason
+	Size   int
+}
+
+// Tracer receives per-packet events. Implementations must not retain
+// references into the event (it is a value) and must not allocate on
+// Record if they sit on the hot path. A nil Tracer field is the
+// disabled state; every call site guards with a single nil check.
+type Tracer interface {
+	Record(ev Event)
+}
+
+// RingTracer keeps the most recent capacity events in a preallocated
+// ring. Record is two array stores; when full it overwrites the
+// oldest event.
+type RingTracer struct {
+	events []Event
+	next   int
+	total  int
+}
+
+// NewRingTracer returns a tracer holding at most capacity events.
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &RingTracer{events: make([]Event, capacity)}
+}
+
+// Record implements Tracer.
+func (t *RingTracer) Record(ev Event) {
+	t.events[t.next] = ev
+	t.next = (t.next + 1) % len(t.events)
+	t.total++
+}
+
+// Len returns the number of events held.
+func (t *RingTracer) Len() int {
+	if t.total < len(t.events) {
+		return t.total
+	}
+	return len(t.events)
+}
+
+// Total returns the number of events ever recorded (held + overwritten).
+func (t *RingTracer) Total() int { return t.total }
+
+// Event returns the i-th held event (0 = oldest).
+func (t *RingTracer) Event(i int) Event {
+	n := t.Len()
+	if i < 0 || i >= n {
+		return Event{}
+	}
+	start := 0
+	if t.total > len(t.events) {
+		start = t.next
+	}
+	return t.events[(start+i)%len(t.events)]
+}
+
+// WriteText dumps the held events, oldest first, one line each.
+func (t *RingTracer) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < t.Len(); i++ {
+		ev := t.Event(i)
+		fmt.Fprintf(bw, "%.6f %-8s router=%d src=%d dst=%d class=%d size=%d",
+			ev.Time.Sub(0).Seconds(), ev.Kind, ev.Router, ev.Src, ev.Dst, ev.Class, ev.Size)
+		if ev.Kind == EventDrop {
+			fmt.Fprintf(bw, " reason=%s", ev.Reason)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
