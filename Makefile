@@ -1,20 +1,31 @@
 GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: all build vet test race bench bench-guard check
+.PHONY: all build vet lint test race bench bench-guard fuzz-smoke check
 
 all: check
 
 build:
 	go build ./...
 
+# vet is kept for manual use; `make check` gets full vet coverage from
+# the test target instead, so the tool runs exactly once per check.
 vet:
 	go vet ./...
 
+# lint runs the repo's own analyzer suite (internal/lint): hot-path
+# allocation freedom, simulation determinism, drop-reason attribution,
+# and packet-pool ownership. Non-zero exit on any finding.
+lint:
+	go run ./cmd/tvalint ./...
+
+# -vet=all widens go test's implicit vet subset to every analyzer, so
+# this is the one place vet runs during `make check` (the old layout
+# ran `go vet` standalone and then again implicitly here).
 test:
-	go test ./...
+	go test -vet=all ./...
 
 race:
-	go test -race ./...
+	go test -race -vet=off ./...
 
 # bench writes a machine-readable snapshot (Table 1 ns/op + allocs/op,
 # Fig. 12 peak kpps, scenario completion fractions) keyed by revision.
@@ -27,4 +38,10 @@ bench:
 bench-guard:
 	go run ./cmd/tvabench -guard BENCH_pr1.json
 
-check: build vet test race bench-guard
+# fuzz-smoke gives each native fuzz target ~10s of mutation on top of
+# the seed corpus (go permits one -fuzz pattern per invocation).
+fuzz-smoke:
+	go test ./internal/packet -run '^$$' -fuzz FuzzWireUnmarshal -fuzztime 10s
+	go test ./internal/packet -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime 10s
+
+check: build lint test race bench-guard

@@ -103,6 +103,8 @@ func (r *Router) Cache() *flowcache.Cache { return r.cache }
 // cache, demotes packets that fail, and assigns the forwarding class.
 // inIface is the incoming interface index used for path identifier
 // tags. The packet is mutated in place.
+//
+//tva:hotpath
 func (r *Router) Process(pkt *packet.Packet, inIface int, now tvatime.Time) packet.Class {
 	h := pkt.Hdr
 	if h == nil {
@@ -268,7 +270,7 @@ func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface in
 		}
 	}
 	if valid {
-		return true, 0
+		return true, telemetry.DropNone
 	}
 	return false, reason
 }

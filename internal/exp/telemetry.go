@@ -111,7 +111,9 @@ func (b *builder) startSampler(tel *RunTelemetry, lr *netsim.Iface) {
 	s.AddGauge("goodput_bytes", func() float64 { return float64(tel.GoodputBytes) })
 	if rc, ok := lr.Sched.(sched.ReasonCounter); ok {
 		drops := rc.DropReasons()
-		for i := 0; i < telemetry.NumDropReasons; i++ {
+		// Start past DropNone: nothing may ever be attributed to the
+		// explicit no-reason value, so it gets no gauge.
+		for i := int(telemetry.DropNone) + 1; i < telemetry.NumDropReasons; i++ {
 			reason := telemetry.DropReason(i)
 			s.AddGauge("drops_"+reason.String(), func() float64 { return float64(drops.Get(reason)) })
 		}

@@ -53,6 +53,8 @@ type Entry struct {
 	// map but not yet drained from the heap.
 	heapKey tvatime.Time
 	dead    bool
+	// freeNext links reclaimed entries into the cache's free list.
+	freeNext *Entry
 }
 
 // Cache is a fixed-capacity flow cache. It is not safe for concurrent
@@ -61,6 +63,12 @@ type Cache struct {
 	max     int
 	entries map[Key]*Entry
 	byTTL   ttlHeap
+	// free holds reclaimed entries (linked through freeNext) for Create
+	// to reuse, so steady-state flow churn allocates no Entry values.
+	// Reclaimed entries are recycled, which is why Lookup results must
+	// not be retained across cache mutations (routers hold them only
+	// within a single packet's processing).
+	free *Entry
 
 	// Stats.
 	Creates, Hits, Misses, Evictions, AdmitFailures uint64
@@ -137,7 +145,8 @@ func (c *Cache) Create(key Key, nonce, cap uint64, n int64, tsec uint8, expiry t
 		c.AdmitFailures++
 		return nil
 	}
-	e := &Entry{
+	e := c.newEntry()
+	*e = Entry{
 		Key:       key,
 		Nonce:     nonce,
 		Cap:       cap,
@@ -208,6 +217,7 @@ func (c *Cache) evictExpired(now tvatime.Time) bool {
 		top := c.byTTL[0]
 		if top.dead {
 			heap.Pop(&c.byTTL)
+			c.freePut(top)
 			continue
 		}
 		if top.heapKey != top.TTLExpire {
@@ -224,6 +234,7 @@ func (c *Cache) evictExpired(now tvatime.Time) bool {
 		}
 		heap.Pop(&c.byTTL)
 		delete(c.entries, top.Key)
+		c.freePut(top)
 		c.Evictions++
 		return true
 	}
@@ -248,10 +259,30 @@ func (c *Cache) maybeCompact() {
 		if !e.dead {
 			e.heapKey = e.TTLExpire
 			live = append(live, e)
+		} else {
+			c.freePut(e)
 		}
 	}
 	c.byTTL = live
 	heap.Init(&c.byTTL)
+}
+
+// newEntry pops a recycled entry off the free list, falling back to an
+// allocation when the list is empty (at most once per peak concurrent
+// flow count).
+func (c *Cache) newEntry() *Entry {
+	if e := c.free; e != nil {
+		c.free = e.freeNext
+		return e
+	}
+	//lint:ignore hotpath allocates only on a free-list miss; steady-state flow churn reuses reclaimed entries
+	return &Entry{}
+}
+
+// freePut pushes a reclaimed entry onto the free list for newEntry.
+func (c *Cache) freePut(e *Entry) {
+	e.freeNext = c.free
+	c.free = e
 }
 
 // ttlHeap is a min-heap of entries by heapKey.

@@ -116,6 +116,8 @@ func (d *DRR) NumQueues() int { return len(d.queues) }
 
 // Enqueue adds pkt to key's queue, creating the queue if needed, and
 // reports which bound (if any) dropped the packet.
+//
+//tva:hotpath
 func (d *DRR) Enqueue(key uint64, pkt *packet.Packet) EnqueueResult {
 	q := d.queues[key]
 	if q == nil {
@@ -146,6 +148,7 @@ func (d *DRR) newFlowq(key uint64) *flowq {
 		q.key = key
 		return q
 	}
+	//lint:ignore hotpath allocates only on a free-list miss; steady-state flow churn reuses retired flowqs
 	return &flowq{key: key}
 }
 
@@ -154,6 +157,8 @@ func (d *DRR) newFlowq(key uint64) *flowq {
 // packet tops the deficit up by one quantum and rotates, so with
 // quantum >= MTU every queue sends at most one packet per round and
 // long-run throughput is proportional to rounds (fair in bytes).
+//
+//tva:hotpath
 func (d *DRR) Dequeue() *packet.Packet {
 	for d.head != nil {
 		q := d.head
@@ -242,6 +247,8 @@ func (f *FIFO) Bytes() int { return f.curBytes }
 
 // Enqueue appends pkt, reporting false on a tail drop. The caller
 // attributes the drop (the FIFO doesn't know the traffic class).
+//
+//tva:hotpath
 func (f *FIFO) Enqueue(pkt *packet.Packet) bool {
 	if (f.byteCap > 0 && f.curBytes+pkt.Size > f.byteCap) ||
 		(f.pktCap > 0 && f.Len() >= f.pktCap) {
@@ -261,6 +268,8 @@ func (f *FIFO) Enqueue(pkt *packet.Packet) bool {
 }
 
 // Dequeue pops the head packet, or nil if empty.
+//
+//tva:hotpath
 func (f *FIFO) Dequeue() *packet.Packet {
 	if f.Len() == 0 {
 		return nil

@@ -1,0 +1,213 @@
+// The determinism analyzer: simulator results are only citable when a
+// run is a pure function of its seed (the experiment engine's RunMany
+// depends on this to fan runs out across goroutines and still produce
+// identical sweeps). In the simulator-facing packages —
+// internal/netsim, internal/exp, and internal/core — three things
+// break that property:
+//
+//   - wall clocks: time.Now/Since/Until (and timer constructors), or
+//     a tvatime.WallClock smuggled in as the Clock;
+//   - the global math/rand functions, which share process-wide state
+//     across runs (a *rand.Rand seeded per simulation is fine);
+//   - ranging over a map when the body's effects depend on iteration
+//     order: calling functions, appending, sending, writing through
+//     fields/elements, or returning/breaking out. Pure aggregation
+//     into locals (sums, counts, max-tracking assignments to local
+//     scalars) is order-independent and allowed; anything else should
+//     iterate over sorted keys instead.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism is the determinism analyzer.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clocks, global math/rand, and order-dependent map iteration in simulator-facing packages",
+	Run:  runDeterminism,
+}
+
+// deterministicPkgs lists the module-relative import paths the checker
+// covers. internal/core is included wholesale: the router and shim are
+// driven by both the simulator and the overlay, so *all* of core must
+// stay replayable (the overlay passes wall clocks in from outside).
+var deterministicPkgs = []string{
+	"internal/netsim",
+	"internal/exp",
+	"internal/core",
+}
+
+func runDeterminism(prog *Program, pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if !deterministicPkg(prog, pkg) {
+			continue
+		}
+		report := func(pos token.Pos, msg string) {
+			findings = append(findings, Finding{
+				Pos:     prog.Fset.Position(pos),
+				Check:   "determinism",
+				Message: msg,
+			})
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkDetCall(pkg, n, report)
+				case *ast.SelectorExpr:
+					// A WallClock value anywhere in simulator-facing code
+					// is a wall clock about to be plumbed somewhere.
+					if obj, ok := pkg.Info.Uses[n.Sel].(*types.TypeName); ok &&
+						obj.Pkg() != nil && obj.Pkg().Path() == prog.Module+"/internal/tvatime" &&
+						obj.Name() == "WallClock" {
+						report(n.Pos(), "uses tvatime.WallClock in simulator-facing code; take a tvatime.Clock from the simulation instead")
+					}
+				case *ast.RangeStmt:
+					checkMapRange(pkg, n, report)
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+func deterministicPkg(prog *Program, pkg *Package) bool {
+	for _, rel := range deterministicPkgs {
+		if pkg.Path == prog.Module+"/"+rel {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDetCall flags wall-clock reads and global math/rand use.
+func checkDetCall(pkg *Package, call *ast.CallExpr, report func(token.Pos, string)) {
+	fn := funcFor(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until", "After", "Tick", "Sleep", "NewTimer", "NewTicker", "AfterFunc":
+			report(call.Pos(), "calls time."+fn.Name()+": wall-clock time breaks simulation determinism; use the simulation's tvatime.Clock")
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on a seeded *rand.Rand are deterministic; the
+		// package-level functions share global state across runs.
+		// Constructors are how you get the seeded generator.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return
+		}
+		report(call.Pos(), "calls global math/rand."+fn.Name()+": shared RNG state breaks per-seed determinism; use the simulation's *rand.Rand")
+	}
+}
+
+// checkMapRange flags map iteration whose body is order-sensitive.
+func checkMapRange(pkg *Package, rng *ast.RangeStmt, report func(token.Pos, string)) {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if why := orderSensitive(pkg, rng.Body); why != "" {
+		report(rng.Pos(), "map iteration order leaks into results ("+why+"); iterate over sorted keys instead")
+	}
+}
+
+// orderSensitive reports the first order-dependent effect in a map
+// range body, or "".
+func orderSensitive(pkg *Package, body *ast.BlockStmt) (why string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch builtinFor(pkg.Info, n) {
+			case "delete", "len", "cap", "min", "max":
+				return true // order-independent builtins
+			case "append":
+				why = "append observes iteration order"
+				return false
+			}
+			if isConversion(pkg.Info, n) {
+				return true
+			}
+			why = "calls a function from inside the loop"
+			return false
+		case *ast.SendStmt:
+			why = "sends on a channel"
+			return false
+		case *ast.ReturnStmt:
+			why = "returns from inside the loop"
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				why = "exits the loop early"
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if target := escapingLvalue(pkg, ast.Unparen(lhs)); target != "" {
+					why = "writes through " + target
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			// x++ / x-- commute across iterations; allowed.
+			return true
+		}
+		return true
+	})
+	return why
+}
+
+// escapingLvalue names an assignment target that order can leak
+// through: a field, an element, a dereference, or a package-level
+// variable. Plain local identifiers return "".
+func escapingLvalue(pkg *Package, lhs ast.Expr) string {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return ""
+		}
+		var obj types.Object
+		if d := pkg.Info.Defs[lhs]; d != nil {
+			obj = d
+		} else {
+			obj = pkg.Info.Uses[lhs]
+		}
+		if obj != nil && obj.Parent() == pkg.Types.Scope() {
+			return "package-level variable " + lhs.Name
+		}
+		return ""
+	case *ast.SelectorExpr:
+		return "field " + exprKey(lhs)
+	case *ast.IndexExpr:
+		// Writing m2[k] = v keyed by the iteration variable is
+		// order-independent; writing s[i] with i from outside is not.
+		// Distinguishing precisely needs dataflow; treat index writes
+		// keyed by the range key as safe and everything else as not.
+		if tv, ok := pkg.Info.Types[lhs.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return ""
+			}
+		}
+		return "element " + exprKey(lhs)
+	case *ast.StarExpr:
+		return "pointer target " + exprKey(lhs)
+	}
+	return ""
+}

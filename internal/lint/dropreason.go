@@ -1,0 +1,147 @@
+// The dropreason analyzer: PR 2's drop accounting — and the
+// drops-sum==bottleneck invariant tvasim verifies — is only
+// trustworthy if every discard names its cause. Two rules keep the
+// taxonomy closed:
+//
+//   - no call may pass a constant-zero telemetry.DropReason
+//     (DropNone, the explicit "no reason yet" zero value) into any
+//     function or method: a drop site that cannot name its reason is
+//     an unattributed drop;
+//   - every switch over a DropReason must either carry a default arm
+//     or enumerate every reason, so adding a reason to the taxonomy
+//     forces every consumer to decide what it means.
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DropReasonCheck is the dropreason analyzer.
+var DropReasonCheck = &Analyzer{
+	Name: "dropreason",
+	Doc:  "forbid zero-value telemetry.DropReason arguments and non-exhaustive DropReason switches",
+	Run:  runDropReason,
+}
+
+func runDropReason(prog *Program, pkgs []*Package) []Finding {
+	telemetryPath := prog.Module + "/internal/telemetry"
+	var findings []Finding
+	for _, pkg := range pkgs {
+		report := func(pos token.Pos, msg string) {
+			findings = append(findings, Finding{
+				Pos:     prog.Fset.Position(pos),
+				Check:   "dropreason",
+				Message: msg,
+			})
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkDropArgs(pkg, telemetryPath, n, report)
+				case *ast.SwitchStmt:
+					checkDropSwitch(prog, pkg, telemetryPath, n, report)
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// checkDropArgs flags constant-zero DropReason arguments. The check is
+// value-based, not spelling-based: DropNone, 0, and
+// telemetry.DropReason(0) are all the same unattributed drop.
+func checkDropArgs(pkg *Package, telemetryPath string, call *ast.CallExpr, report func(token.Pos, string)) {
+	if isConversion(pkg.Info, call) {
+		return
+	}
+	for _, arg := range call.Args {
+		tv, ok := pkg.Info.Types[arg]
+		if !ok || tv.Type == nil || tv.Value == nil {
+			continue
+		}
+		if !namedType(tv.Type, telemetryPath, "DropReason") {
+			continue
+		}
+		if v, ok := constant.Uint64Val(tv.Value); ok && v == 0 {
+			report(arg.Pos(), "zero-value telemetry.DropReason passed to a call: every drop/demote/reject site must name a concrete reason")
+		}
+	}
+}
+
+// checkDropSwitch enforces exhaustiveness for switches over DropReason.
+func checkDropSwitch(prog *Program, pkg *Package, telemetryPath string, sw *ast.SwitchStmt, report func(token.Pos, string)) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pkg.Info.Types[sw.Tag]
+	if !ok || tv.Type == nil || !namedType(tv.Type, telemetryPath, "DropReason") {
+		return
+	}
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default arm: exhaustive by construction
+		}
+		for _, e := range cc.List {
+			if v, ok := pkg.Info.Types[e]; ok && v.Value != nil {
+				covered[constant.ToInt(v.Value).ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range dropReasonConstants(prog, telemetryPath) {
+		if !covered[constant.ToInt(c.Val()).ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		report(sw.Pos(), "switch on telemetry.DropReason is not exhaustive and has no default: missing "+strings.Join(missing, ", "))
+	}
+}
+
+// dropReasonConstants enumerates the declared DropReason constants
+// from the telemetry package, in declaration (value) order.
+func dropReasonConstants(prog *Program, telemetryPath string) []*types.Const {
+	tpkg, ok := prog.ByPath[telemetryPath]
+	if !ok {
+		// The telemetry package may be absent from a narrow fixture
+		// load; try any loaded package's imports.
+		for _, pkg := range prog.Packages {
+			for _, imp := range pkg.Types.Imports() {
+				if imp.Path() == telemetryPath {
+					return scopeDropReasons(imp.Scope(), telemetryPath)
+				}
+			}
+		}
+		return nil
+	}
+	return scopeDropReasons(tpkg.Types.Scope(), telemetryPath)
+}
+
+func scopeDropReasons(scope *types.Scope, telemetryPath string) []*types.Const {
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !namedType(c.Type(), telemetryPath, "DropReason") {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, _ := constant.Uint64Val(constant.ToInt(out[i].Val()))
+		b, _ := constant.Uint64Val(constant.ToInt(out[j].Val()))
+		return a < b
+	})
+	return out
+}

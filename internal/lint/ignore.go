@@ -1,0 +1,101 @@
+// //lint:ignore directives: the escape hatch for findings that are
+// deliberate (a first-use allocation behind a nil check, a payload
+// copy that is the documented cost of payload-carrying packets). A
+// directive names the check it silences and must say why:
+//
+//	//lint:ignore hotpath scratch header is allocated once, then recycled
+//
+// It applies to findings on its own line and on the line directly
+// below it (so it can trail the flagged expression or sit above it).
+// An ignore without a reason, or naming an unknown check, is reported
+// as a finding itself — silencing the linter silently is exactly the
+// kind of convention this package exists to end.
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+const ignorePrefix = "//lint:ignore"
+
+// ignoreSet indexes directives by file and line.
+type ignoreSet struct {
+	// byLine maps filename -> line -> checks ignored on that line.
+	byLine    map[string]map[int][]string
+	malformed []Finding
+}
+
+// collectIgnores scans the comments of every file in pkgs.
+func collectIgnores(prog *Program, pkgs []*Package) *ignoreSet {
+	s := &ignoreSet{byLine: map[string]map[int][]string{}}
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						s.malformed = append(s.malformed, Finding{
+							Pos: pos, Check: "ignore",
+							Message: "malformed //lint:ignore: want \"//lint:ignore <check> <reason>\"",
+						})
+						continue
+					case !known[fields[0]]:
+						s.malformed = append(s.malformed, Finding{
+							Pos: pos, Check: "ignore",
+							Message: "//lint:ignore names unknown check " + quote(fields[0]),
+						})
+						continue
+					case len(fields) < 2:
+						s.malformed = append(s.malformed, Finding{
+							Pos: pos, Check: "ignore",
+							Message: "//lint:ignore " + fields[0] + " needs a reason",
+						})
+						continue
+					}
+					s.add(pos, fields[0])
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *ignoreSet) add(pos token.Position, check string) {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		lines = map[int][]string{}
+		s.byLine[pos.Filename] = lines
+	}
+	lines[pos.Line] = append(lines[pos.Line], check)
+}
+
+// suppress reports whether f is covered by a directive on its line or
+// the line above.
+func (s *ignoreSet) suppress(f Finding) bool {
+	lines := s.byLine[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, check := range lines[line] {
+			if check == f.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// quote wraps s in double quotes for messages.
+func quote(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,230 @@
+// Package loading and type checking. The module has zero external
+// dependencies and lint must not grow one, so instead of
+// golang.org/x/tools/go/packages the loader shells out to `go list
+// -deps -json` (dependency-first order, module packages only), parses
+// each package with go/parser, and type-checks with go/types. Imports
+// of module packages resolve from the loader's own cache — so type
+// identities (telemetry.DropReason, packet.Packet) are shared across
+// the whole program — and standard-library imports fall back to the
+// stdlib source importer.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked module package with its syntax.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the loaded module slice: every requested package plus its
+// module-internal dependency closure, type-checked against one shared
+// FileSet, with an index from function objects to their declarations
+// so analyzers can traverse calls across package boundaries.
+type Program struct {
+	Fset      *token.FileSet
+	Module    string // module path from go.mod ("tva")
+	Packages  []*Package
+	ByPath    map[string]*Package
+	FuncDecls map[*types.Func]*FuncDecl
+
+	std types.ImporterFrom
+}
+
+// FuncDecl locates one function declaration.
+type FuncDecl struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Standard   bool
+	GoFiles    []string
+}
+
+// Load lists patterns (e.g. "./...") from the module rooted at dir and
+// returns the type-checked program. Test files are not loaded: the
+// invariants guard the shipped data path, and _test.go files may form
+// external test packages the simple loader cannot model.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := goList(dir, "list", "-m", "-f", "{{.Path}}")
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving module path: %w", err)
+	}
+	module := strings.TrimSpace(string(mod))
+
+	args := append([]string{"list", "-deps", "-json=Dir,ImportPath,Standard,GoFiles"}, patterns...)
+	out, err := goList(dir, args...)
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+
+	prog := &Program{
+		Fset:      token.NewFileSet(),
+		Module:    module,
+		ByPath:    map[string]*Package{},
+		FuncDecls: map[*types.Func]*FuncDecl{},
+	}
+	// The source importer type-checks standard-library dependencies
+	// from source; cgo would defeat it, and the pure-Go variants are
+	// what a static analyzer should see anyway. ForCompiler captures
+	// build.Default, so the flag must be set on the global context.
+	build.Default.CgoEnabled = false
+	prog.std = importer.ForCompiler(prog.Fset, "source", nil).(types.ImporterFrom)
+
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if lp.Standard || lp.ImportPath == "unsafe" {
+			continue
+		}
+		// -deps emits dependencies before dependents, so every import
+		// of a module package is already in ByPath when we need it.
+		if _, err := prog.load(lp.ImportPath, lp.Dir, lp.GoFiles); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// AddDir parses every .go file in dir as one extra package (used by
+// fixture tests: testdata packages are invisible to go list) and
+// type-checks it against the already-loaded program.
+func (p *Program) AddDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	return p.load(importPath, dir, files)
+}
+
+// load parses and type-checks one package and registers it.
+func (p *Program) load(importPath, dir string, fileNames []string) (*Package, error) {
+	pkg := &Package{
+		Path: importPath,
+		Dir:  dir,
+		Info: &types.Info{
+			Types:  map[ast.Expr]types.TypeAndValue{},
+			Defs:   map[*ast.Ident]types.Object{},
+			Uses:   map[*ast.Ident]types.Object{},
+			Scopes: map[ast.Node]*types.Scope{},
+		},
+	}
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: (*progImporter)(p),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(importPath, p.Fset, pkg.Files, pkg.Info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, typeErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	p.Packages = append(p.Packages, pkg)
+	p.ByPath[importPath] = pkg
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				p.FuncDecls[fn] = &FuncDecl{Pkg: pkg, Decl: fd}
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// InModule reports whether pkg (a types package) belongs to this
+// module.
+func (p *Program) InModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == p.Module || strings.HasPrefix(pkg.Path(), p.Module+"/")
+}
+
+// progImporter serves module packages from the program's cache and
+// everything else from the stdlib source importer.
+type progImporter Program
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	return pi.ImportFrom(path, "", 0)
+}
+
+func (pi *progImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := pi.ByPath[path]; ok {
+		return pkg.Types, nil
+	}
+	if path == pi.Module || strings.HasPrefix(path, pi.Module+"/") {
+		return nil, fmt.Errorf("lint: module package %s not loaded (go list order violated?)", path)
+	}
+	return pi.std.ImportFrom(path, dir, mode)
+}
+
+// goList runs the go tool in dir with cgo disabled.
+func goList(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}

@@ -1,0 +1,527 @@
+// The poolowner analyzer: packet.AcquirePacket transfers ownership,
+// and the pool's contract (pool.go) is that every acquired packet
+// reaches *exactly one* terminal consumption per return path — a
+// packet.Release, or a handoff that transfers ownership onward (being
+// passed to a call, returned, or stored into a structure). A leaked
+// packet quietly re-enables the per-packet allocation PR 1 removed; a
+// double release poisons the pool with a packet someone still holds.
+//
+// The analysis is intraprocedural and branch-sensitive but not
+// path-sensitive: it tracks each variable initialized directly from
+// packet.AcquirePacket() through the function body, merging states at
+// control-flow joins. States per variable are sets over
+// {owned, handed, released}:
+//
+//   - Release(p) with released already possible  -> possible double release
+//   - any other use of p after a certain release -> use after release
+//   - a return path where p is still exactly owned, with no deferred
+//     Release -> leak
+//
+// Handoffs are deliberately generous — any call taking p may consume
+// it, and a conditional enqueue that returns false leaves the caller
+// to release, so handed-then-released is legal. The check therefore
+// catches structural mistakes (forgotten consumption, two Releases),
+// not every possible protocol violation.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolOwner is the poolowner analyzer.
+var PoolOwner = &Analyzer{
+	Name: "poolowner",
+	Doc:  "pooled *packet.Packet values must reach exactly one Release/handoff on every return path",
+	Run:  runPoolOwner,
+}
+
+// Ownership state bits.
+const (
+	stOwned uint8 = 1 << iota
+	stHanded
+	stReleased
+)
+
+func runPoolOwner(prog *Program, pkgs []*Package) []Finding {
+	packetPath := prog.Module + "/internal/packet"
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				a := &ownerAnalysis{
+					prog:       prog,
+					pkg:        pkg,
+					packetPath: packetPath,
+					acquired:   map[*types.Var]token.Position{},
+				}
+				a.findings = &findings
+				env := ownerEnv{}
+				term := a.exec(fd.Body, env)
+				if !term.terminated {
+					a.checkExit(term.env, fd.Body.End(), nil)
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// ownerEnv maps tracked variables to their possible-state bitmask.
+type ownerEnv map[*types.Var]uint8
+
+func (e ownerEnv) clone() ownerEnv {
+	c := make(ownerEnv, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// merge unions two environments (nil = unreachable).
+func merge(a, b ownerEnv) ownerEnv {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := a.clone()
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+type execResult struct {
+	env        ownerEnv
+	terminated bool // all paths return/panic before falling through
+}
+
+type ownerAnalysis struct {
+	prog       *Program
+	pkg        *Package
+	packetPath string
+	acquired   map[*types.Var]token.Position
+	deferred   map[*types.Var]bool // vars with a deferred Release
+	findings   *[]Finding
+}
+
+func (a *ownerAnalysis) report(pos token.Pos, msg string) {
+	*a.findings = append(*a.findings, Finding{
+		Pos:     a.prog.Fset.Position(pos),
+		Check:   "poolowner",
+		Message: msg,
+	})
+}
+
+// checkExit flags owned packets at a return site. results are the
+// returned expressions (a returned packet is a handoff).
+func (a *ownerAnalysis) checkExit(env ownerEnv, pos token.Pos, results []ast.Expr) {
+	for v, st := range env {
+		if st != stOwned || a.deferred[v] {
+			continue
+		}
+		returned := false
+		for _, r := range results {
+			if a.usesVar(r, v) {
+				returned = true
+				break
+			}
+		}
+		if returned {
+			continue
+		}
+		acq := a.acquired[v]
+		a.report(pos, "pooled packet "+v.Name()+" (acquired at line "+itoa(acq.Line)+") leaks on this return path: no Release or handoff")
+	}
+}
+
+// exec interprets stmt under env, returning the fall-through result.
+func (a *ownerAnalysis) exec(stmt ast.Stmt, env ownerEnv) execResult {
+	if env == nil {
+		return execResult{nil, true}
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		cur := env
+		for _, st := range s.List {
+			r := a.exec(st, cur)
+			if r.terminated {
+				return execResult{nil, true}
+			}
+			cur = r.env
+		}
+		return execResult{cur, false}
+
+	case *ast.AssignStmt:
+		return execResult{a.execAssign(s, env), false}
+
+	case *ast.DeclStmt:
+		a.scanUses(s, env)
+		return execResult{env, false}
+
+	case *ast.ExprStmt:
+		return execResult{a.execExpr(s.X, env), false}
+
+	case *ast.DeferStmt:
+		if v := a.releaseTarget(s.Call, env); v != nil {
+			if a.deferred == nil {
+				a.deferred = map[*types.Var]bool{}
+			}
+			a.deferred[v] = true
+			return execResult{env, false}
+		}
+		return execResult{a.execExpr(s.Call, env), false}
+
+	case *ast.ReturnStmt:
+		env = a.handleUses(s.Results, env)
+		a.checkExit(env, s.Pos(), s.Results)
+		return execResult{nil, true}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			r := a.exec(s.Init, env)
+			env = r.env
+		}
+		env = a.execCond(s.Cond, env)
+		thenR := a.exec(s.Body, env.clone())
+		var elseR execResult
+		if s.Else != nil {
+			elseR = a.exec(s.Else, env.clone())
+		} else {
+			elseR = execResult{env, false}
+		}
+		switch {
+		case thenR.terminated && elseR.terminated:
+			return execResult{nil, true}
+		case thenR.terminated:
+			return execResult{elseR.env, false}
+		case elseR.terminated:
+			return execResult{thenR.env, false}
+		default:
+			return execResult{merge(thenR.env, elseR.env), false}
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			env = a.exec(s.Init, env).env
+		}
+		if s.Cond != nil {
+			env = a.execCond(s.Cond, env)
+		}
+		body := a.exec(s.Body, env.clone())
+		if s.Post != nil && body.env != nil {
+			body.env = a.exec(s.Post, body.env).env
+		}
+		// One symbolic iteration: states after zero or one pass.
+		return execResult{merge(env, body.env), false}
+
+	case *ast.RangeStmt:
+		env = a.execCond(s.X, env)
+		body := a.exec(s.Body, env.clone())
+		return execResult{merge(env, body.env), false}
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return a.execBranches(s, env)
+
+	case *ast.LabeledStmt:
+		return a.exec(s.Stmt, env)
+
+	case *ast.GoStmt:
+		return execResult{a.execExpr(s.Call, env), false}
+
+	case *ast.SendStmt:
+		env = a.execExpr(s.Value, env)
+		// A packet sent on a channel is handed to the receiver.
+		for v := range env {
+			if a.usesVar(s.Value, v) {
+				env = a.markHanded(env, v, s.Pos())
+			}
+		}
+		return execResult{env, false}
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave this straight-line path. The loop
+		// approximation merges body entry and exit states, so ending
+		// the path here avoids false "already released" merges from
+		// `Release(p); continue` arms. (A leak reachable only through
+		// a break is missed; the check is deliberately conservative.)
+		return execResult{nil, true}
+
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+		return execResult{env, false}
+
+	default:
+		a.scanUses(stmt, env)
+		return execResult{env, false}
+	}
+}
+
+// execBranches interprets switch/select conservatively: every arm from
+// the same entry env, merged (plus the fall-through for switches
+// without default).
+func (a *ownerAnalysis) execBranches(stmt ast.Stmt, env ownerEnv) execResult {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			env = a.exec(s.Init, env).env
+		}
+		if s.Tag != nil {
+			env = a.execCond(s.Tag, env)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			env = a.exec(s.Init, env).env
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var out ownerEnv
+	allTerminated := true
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			env = a.handleUses(c.List, env)
+			stmts = c.Body
+		case *ast.CommClause:
+			hasDefault = hasDefault || c.Comm == nil
+			stmts = c.Body
+		}
+		r := a.exec(&ast.BlockStmt{List: stmts}, env.clone())
+		if !r.terminated {
+			out = merge(out, r.env)
+			allTerminated = false
+		}
+	}
+	if !hasDefault {
+		out = merge(out, env)
+		allTerminated = false
+	}
+	if allTerminated && len(body.List) > 0 {
+		return execResult{nil, true}
+	}
+	return execResult{merge(out, nil), false}
+}
+
+// execAssign handles acquisitions, re-acquisitions, handoffs via
+// storage, and overwrites.
+func (a *ownerAnalysis) execAssign(s *ast.AssignStmt, env ownerEnv) ownerEnv {
+	// Right side first: uses of tracked vars in RHS are handoffs when
+	// stored, and acquisitions introduce tracking.
+	for i, rhs := range s.Rhs {
+		call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+		if isCall && a.isAcquire(call) && len(s.Lhs) == len(s.Rhs) {
+			if id, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident); ok {
+				if v := a.objOf(id); v != nil {
+					if env[v] == stOwned {
+						a.report(s.Pos(), "pooled packet "+v.Name()+" reacquired while still owned: previous packet leaks")
+					}
+					env = env.clone()
+					env[v] = stOwned
+					a.acquired[v] = a.prog.Fset.Position(call.Pos())
+					continue
+				}
+			}
+			continue
+		}
+		env = a.execExpr(rhs, env)
+	}
+	// Storing a tracked var through a non-trivial lvalue is a handoff;
+	// overwriting a tracked var that is still owned is a leak.
+	for i, lhs := range s.Lhs {
+		lhs = ast.Unparen(lhs)
+		if len(s.Rhs) == len(s.Lhs) {
+			if call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); ok && a.isAcquire(call) {
+				continue // handled above
+			}
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			if v := a.objOf(id); v != nil {
+				if _, tracked := env[v]; tracked && env[v] == stOwned {
+					a.report(s.Pos(), "pooled packet "+v.Name()+" overwritten while still owned: packet leaks")
+				}
+				if _, tracked := env[v]; tracked {
+					env = env.clone()
+					delete(env, v) // var now holds something else
+				}
+			}
+			continue
+		}
+		// p stored into a field/element/pointer: ownership moves with it.
+		for v := range env {
+			if a.usesVar(s.Rhs[minInt(i, len(s.Rhs)-1)], v) {
+				env = a.markHanded(env, v, s.Pos())
+			}
+		}
+	}
+	return env
+}
+
+// execExpr scans an expression for Release calls, handoffs, and uses
+// after release.
+func (a *ownerAnalysis) execExpr(e ast.Expr, env ownerEnv) ownerEnv {
+	if e == nil {
+		return env
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.CompositeLit); ok {
+			// A packet stored into a literal moves with the value.
+			for _, el := range lit.Elts {
+				for v := range env {
+					if a.usesVar(el, v) {
+						env = a.markHanded(env, v, el.Pos())
+					}
+				}
+			}
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if v := a.releaseTarget(call, env); v != nil {
+			st := env[v]
+			if st&stReleased != 0 {
+				a.report(call.Pos(), "pooled packet "+v.Name()+" may already be released: possible double release poisons the pool")
+			}
+			env = env.clone()
+			env[v] = stReleased
+			return false
+		}
+		// Any other call taking a tracked var is a (potential) handoff.
+		for _, arg := range call.Args {
+			for v := range env {
+				if a.usesVar(arg, v) {
+					env = a.markHanded(env, v, call.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return env
+}
+
+// execCond scans a condition/expression context where tracked vars may
+// appear in calls.
+func (a *ownerAnalysis) execCond(e ast.Expr, env ownerEnv) ownerEnv {
+	return a.execExpr(e, env)
+}
+
+// handleUses runs execExpr over a list of expressions.
+func (a *ownerAnalysis) handleUses(exprs []ast.Expr, env ownerEnv) ownerEnv {
+	for _, e := range exprs {
+		env = a.execExpr(e, env)
+	}
+	return env
+}
+
+// scanUses applies execExpr to every expression under an opaque
+// statement the interpreter does not model specially.
+func (a *ownerAnalysis) scanUses(n ast.Node, env ownerEnv) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if e, ok := x.(ast.Expr); ok {
+			env = a.execExpr(e, env)
+			return false
+		}
+		return true
+	})
+}
+
+// markHanded transitions v on a handoff, flagging use-after-release.
+func (a *ownerAnalysis) markHanded(env ownerEnv, v *types.Var, pos token.Pos) ownerEnv {
+	st := env[v]
+	if st == stReleased {
+		a.report(pos, "pooled packet "+v.Name()+" used after Release: the pool may already have recycled it")
+	}
+	env = env.clone()
+	env[v] = stHanded
+	return env
+}
+
+// isAcquire reports whether call is packet.AcquirePacket().
+func (a *ownerAnalysis) isAcquire(call *ast.CallExpr) bool {
+	fn := funcFor(a.pkg.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == a.packetPath && fn.Name() == "AcquirePacket"
+}
+
+// releaseTarget returns the tracked variable released by call, if call
+// is packet.Release(v) for a tracked v.
+func (a *ownerAnalysis) releaseTarget(call *ast.CallExpr, env ownerEnv) *types.Var {
+	fn := funcFor(a.pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != a.packetPath || fn.Name() != "Release" {
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v := a.objOf(id)
+	if v == nil {
+		return nil
+	}
+	if _, tracked := env[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// objOf resolves an identifier to its variable object.
+func (a *ownerAnalysis) objOf(id *ast.Ident) *types.Var {
+	if v, ok := a.pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := a.pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// usesVar reports whether expression e references v.
+func (a *ownerAnalysis) usesVar(e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && a.objOf(id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,36 @@
+// Package determinism seeds the three violation classes the
+// determinism analyzer forbids in simulator-facing packages. The test
+// harness registers it under a simulator-facing import path
+// (tva/internal/netsim) so the analyzer's package filter applies.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+
+	"tva/internal/tvatime"
+)
+
+var order []int
+
+func Bad(m map[int]int) {
+	_ = time.Now()   // want "calls time.Now"
+	_ = rand.Intn(4) // want "global math/rand"
+	for k := range m { // want "map iteration order leaks"
+		order = append(order, k)
+	}
+}
+
+func Wall() tvatime.Clock {
+	return tvatime.WallClock{} // want "tvatime.WallClock"
+}
+
+// Seeded generators and order-independent aggregation are allowed.
+func Good(m map[int]int) int {
+	r := rand.New(rand.NewSource(1))
+	sum := r.Intn(4)
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,33 @@
+// Package dropreason seeds unattributed-drop and non-exhaustive-switch
+// violations for the dropreason analyzer.
+package dropreason
+
+import "tva/internal/telemetry"
+
+func Bad(c *telemetry.DropCounters) {
+	c.Inc(telemetry.DropNone) // want "zero-value telemetry.DropReason"
+	c.Inc(0)                  // want "zero-value telemetry.DropReason"
+
+	// Allowed: a concrete reason, and a bare conversion (not a call
+	// argument).
+	c.Inc(telemetry.DropCapInvalid)
+	_ = telemetry.DropReason(0)
+}
+
+func Name(r telemetry.DropReason) string {
+	switch r { // want "not exhaustive"
+	case telemetry.DropCapInvalid:
+		return "cap"
+	}
+	return ""
+}
+
+// A default arm makes the switch exhaustive by construction.
+func NameOK(r telemetry.DropReason) string {
+	switch r {
+	case telemetry.DropCapInvalid:
+		return "cap"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,28 @@
+// Package ignoretest exercises the //lint:ignore escape hatch: a
+// justified directive suppresses the finding on its line, while a
+// directive naming an unknown check or missing its reason is itself a
+// finding. TestIgnoreDirectives asserts the outcomes explicitly
+// (the malformed directives cannot carry want comments — the trailing
+// text would become their "reason").
+package ignoretest
+
+import "tva/internal/telemetry"
+
+func Suppressed(c *telemetry.DropCounters) {
+	//lint:ignore dropreason fixture: exercising the suppression mechanism
+	c.Inc(telemetry.DropNone)
+}
+
+func SuppressedTrailing(c *telemetry.DropCounters) {
+	c.Inc(telemetry.DropNone) //lint:ignore dropreason fixture: trailing form of the directive
+}
+
+func Unsuppressed(c *telemetry.DropCounters) {
+	c.Inc(telemetry.DropNone)
+}
+
+//lint:ignore notacheck reason enough
+func Unknown() {}
+
+//lint:ignore dropreason
+func Reasonless() {}

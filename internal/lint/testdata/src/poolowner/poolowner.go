@@ -1,0 +1,54 @@
+// Package poolowner seeds the three pool-ownership mistakes the
+// poolowner analyzer catches — a leak, a double release, and a use
+// after release — next to the legal patterns (return handoff,
+// conditional enqueue with a release on the failure arm).
+package poolowner
+
+import "tva/internal/packet"
+
+func Leak() {
+	p := packet.AcquirePacket()
+	p.Size = 1
+} // want "leaks on this return path"
+
+func DoubleRelease() {
+	p := packet.AcquirePacket()
+	packet.Release(p)
+	packet.Release(p) // want "double release"
+}
+
+func UseAfterRelease() {
+	p := packet.AcquirePacket()
+	packet.Release(p)
+	consume(p) // want "used after Release"
+}
+
+// ReturnHandoff transfers ownership to the caller: legal.
+func ReturnHandoff() *packet.Packet {
+	p := packet.AcquirePacket()
+	p.Size = 1
+	return p
+}
+
+// CallHandoff passes ownership into the callee, and releasing after a
+// failed conditional handoff is the documented enqueue contract: legal.
+func CallHandoff(ok bool) {
+	p := packet.AcquirePacket()
+	if !tryConsume(p, ok) {
+		packet.Release(p)
+	}
+}
+
+// DropPoint releases on every path: legal.
+func DropPoint(keep bool) {
+	p := packet.AcquirePacket()
+	if keep {
+		consume(p)
+		return
+	}
+	packet.Release(p)
+}
+
+func consume(p *packet.Packet) {}
+
+func tryConsume(p *packet.Packet, ok bool) bool { return ok }

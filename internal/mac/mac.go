@@ -41,6 +41,7 @@ func NewSecret() [16]byte {
 	if _, err := rand.Read(s[:]); err != nil {
 		// crypto/rand never fails on supported platforms; if it does,
 		// the router cannot operate safely.
+		//lint:ignore hotpath concatenation happens only on the fatal error path, which panics
 		panic("mac: reading random secret: " + err.Error())
 	}
 	return s

@@ -175,6 +175,14 @@ type CapHdr struct {
 
 	// Optional reverse-direction information.
 	Return *ReturnInfo
+
+	// scratchRet/scratchGrant back the Return pointer produced by
+	// unmarshal: decoding return info reuses them (and scratchGrant's
+	// Caps capacity) instead of allocating per packet, the same idiom
+	// as the packet-owned scratch header itself. They are valid only
+	// until the next decode into this header; Clone detaches them.
+	scratchRet   ReturnInfo
+	scratchGrant Grant
 }
 
 // Packet is one packet in flight. Size is the total wire size in bytes
@@ -263,6 +271,7 @@ func (h *CapHdr) WireSize() int {
 // header past the packet's lifetime.
 func (p *Packet) NewHdr() *CapHdr {
 	if p.scratch == nil {
+		//lint:ignore hotpath one-time allocation per packet; the header is recycled across every later reset and decode
 		p.scratch = new(CapHdr)
 	}
 	p.scratch.Reset()
@@ -303,6 +312,10 @@ func (p *Packet) Clone() *Packet {
 // Clone returns a deep copy of the header.
 func (h *CapHdr) Clone() *CapHdr {
 	g := *h
+	// Detach the decode scratch: the copied slice headers would alias
+	// h's backing arrays, which the next decode into h overwrites.
+	g.scratchRet = ReturnInfo{}
+	g.scratchGrant = Grant{}
 	g.Request.PathIDs = append([]PathID(nil), h.Request.PathIDs...)
 	g.Request.PreCaps = append([]uint64(nil), h.Request.PreCaps...)
 	g.Caps = append([]uint64(nil), h.Caps...)

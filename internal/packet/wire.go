@@ -193,6 +193,8 @@ func Unmarshal(data []byte) (*Packet, error) {
 // until the next UnmarshalReuse or NewHdr call on p (or p's release to
 // the packet pool). On error p is left in an unspecified state and
 // must be decoded again before use.
+//
+//tva:hotpath
 func (p *Packet) UnmarshalReuse(data []byte) error {
 	if len(data) < OuterHdrLen {
 		return ErrTruncated
@@ -224,6 +226,7 @@ func (p *Packet) UnmarshalReuse(data []byte) error {
 		rest = rest[n:]
 	}
 	if len(rest) > 0 {
+		//lint:ignore hotpath payload-carrying packets copy their payload by design; header-only decodes never reach this
 		p.Payload = append([]byte(nil), rest...)
 	}
 	return nil
@@ -291,7 +294,11 @@ func (h *CapHdr) unmarshal(data []byte) (int, error) {
 		}
 		rt := data[off]
 		off++
-		ret := &ReturnInfo{DemotionNotice: rt&returnDemotion != 0}
+		// Reuse the header-owned return-info scratch (and the grant's
+		// Caps capacity) so return-carrying decodes stay allocation-free
+		// too; the reset literal clears any grant from a prior decode.
+		ret := &h.scratchRet
+		*ret = ReturnInfo{DemotionNotice: rt&returnDemotion != 0}
 		if ret.DemotionNotice {
 			if len(data) < off+2 {
 				return 0, ErrTruncated
@@ -304,12 +311,12 @@ func (h *CapHdr) unmarshal(data []byte) (int, error) {
 			if len(data) < off+3 {
 				return 0, ErrTruncated
 			}
-			g := &Grant{}
+			g := &h.scratchGrant
 			ncaps := int(data[off])
 			off++
 			g.NKB, g.TSec = splitNT(binary.BigEndian.Uint16(data[off : off+2]))
 			off += 2
-			if g.Caps, off, err = readCaps(nil, data, off, ncaps); err != nil {
+			if g.Caps, off, err = readCaps(g.Caps, data, off, ncaps); err != nil {
 				return 0, err
 			}
 			ret.Grant = g

@@ -79,6 +79,8 @@ func NewDropTailPkts(capPkts int) *DropTail {
 }
 
 // Enqueue implements Scheduler.
+//
+//tva:hotpath
 func (s *DropTail) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
 	if !s.q.Enqueue(pkt) {
 		s.lastDrop = queueDropReason(pkt)
@@ -89,6 +91,8 @@ func (s *DropTail) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
 }
 
 // Dequeue implements Scheduler.
+//
+//tva:hotpath
 func (s *DropTail) Dequeue(_ tvatime.Time) (*packet.Packet, tvatime.Time) {
 	return s.q.Dequeue(), 0
 }
@@ -217,6 +221,8 @@ func requestKey(pkt *packet.Packet) uint64 {
 // when the queue-count bound (derived from the flow-cache size, §3.9)
 // is hit, to flow-cache pressure; legacy drops to demotion (§3.8) or
 // plain legacy overflow.
+//
+//tva:hotpath
 func (s *TVA) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
 	switch pkt.Class {
 	case packet.ClassRequest:
@@ -257,6 +263,8 @@ func (s *TVA) drop(r telemetry.DropReason) {
 
 // Dequeue implements Scheduler: requests first (within their rate
 // ceiling), then regular packets, then legacy.
+//
+//tva:hotpath
 func (s *TVA) Dequeue(now tvatime.Time) (*packet.Packet, tvatime.Time) {
 	// Serve a request if the rate limit allows.
 	if s.holdover == nil && s.request.Len() > 0 {
@@ -350,6 +358,8 @@ func NewSIFF(highPkts, lowPkts int) *SIFF {
 }
 
 // Enqueue implements Scheduler.
+//
+//tva:hotpath
 func (s *SIFF) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
 	var ok bool
 	if pkt.Class == packet.ClassRegular {
@@ -365,6 +375,8 @@ func (s *SIFF) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
 }
 
 // Dequeue implements Scheduler.
+//
+//tva:hotpath
 func (s *SIFF) Dequeue(_ tvatime.Time) (*packet.Packet, tvatime.Time) {
 	if pkt := s.high.Dequeue(); pkt != nil {
 		return pkt, 0

@@ -20,9 +20,17 @@ package telemetry
 type DropReason uint8
 
 const (
+	// DropNone is the explicit "no reason attributed" zero value. It
+	// exists so that a DropReason a programmer forgot to set is
+	// distinguishable from the first real reason (cap-invalid was the
+	// zero value before PR 3, so an unattributed drop silently counted
+	// as a capability failure). It is never a legal argument to a
+	// drop-accounting call: the dropreason analyzer (internal/lint)
+	// flags any constant-zero DropReason passed to a function.
+	DropNone DropReason = iota
 	// DropCapInvalid: the capability list failed validation — bad
 	// pre-capability MAC, wrong interface secret, malformed pointer.
-	DropCapInvalid DropReason = iota
+	DropCapInvalid
 	// DropCapExpired: the capability was once valid but its
 	// authorization is used up — the expiry passed or the byte budget
 	// (N bytes in T seconds, §3.4) is exhausted.
@@ -57,6 +65,7 @@ const (
 )
 
 var dropReasonNames = [NumDropReasons]string{
+	DropNone:               "none",
 	DropCapInvalid:         "cap-invalid",
 	DropCapExpired:         "cap-expired",
 	DropDemoted:            "demoted",
