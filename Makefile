@@ -1,6 +1,10 @@
 GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 
-.PHONY: all build vet lint test race bench bench-guard fuzz-smoke check
+# Per-target native fuzzing budget for fuzz-smoke; CI's scheduled fuzz
+# job raises it (make fuzz-smoke FUZZTIME=30s).
+FUZZTIME ?= 10s
+
+.PHONY: all build vet lint test race bench bench-guard fuzz-smoke cover check
 
 all: check
 
@@ -38,10 +42,17 @@ bench:
 bench-guard:
 	go run ./cmd/tvabench -guard BENCH_pr1.json
 
-# fuzz-smoke gives each native fuzz target ~10s of mutation on top of
-# the seed corpus (go permits one -fuzz pattern per invocation).
+# fuzz-smoke gives each native fuzz target $(FUZZTIME) of mutation on
+# top of the seed corpus (go permits one -fuzz pattern per invocation).
 fuzz-smoke:
-	go test ./internal/packet -run '^$$' -fuzz FuzzWireUnmarshal -fuzztime 10s
-	go test ./internal/packet -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime 10s
+	go test ./internal/packet -run '^$$' -fuzz FuzzWireUnmarshal -fuzztime $(FUZZTIME)
+	go test ./internal/packet -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
+
+# cover writes a coverage profile and prints the per-function table;
+# the last line is the repo-total statement coverage CI surfaces in its
+# logs.
+cover:
+	go test -vet=off -coverprofile=cover.out ./...
+	go tool cover -func=cover.out | tail -1
 
 check: build lint test race bench-guard

@@ -19,6 +19,14 @@
 //
 //	tvasim -fig 8 -schemes tva -metrics out.json
 //	tvasim -fig 8 -schemes tva -trace 20
+//
+// With -fault, tvasim runs the recovery experiments instead of a
+// figure: a bottleneck loss-rate sweep or a router restart-time sweep,
+// reporting completion fraction and (for restarts) time to recover.
+// Both are bit-identical across same-seed runs:
+//
+//	tvasim -fault loss    -loss-rates 0,0.05,0.1,0.2 -duration 30
+//	tvasim -fault restart -restart-times 10,15,20 -duration 30
 package main
 
 import (
@@ -43,6 +51,9 @@ func main() {
 	metricsOut := flag.String("metrics", "", "run one instrumented simulation and write its gauge time series to this file (.csv or .json)")
 	metricsIntervalMs := flag.Float64("metrics-interval", 100, "sampler interval in virtual milliseconds (with -metrics)")
 	traceN := flag.Int("trace", 0, "with an instrumented run, print the last N per-packet trace events")
+	faultMode := flag.String("fault", "", "recovery experiment: 'loss' (bottleneck loss sweep) or 'restart' (router restart sweep)")
+	lossRatesFlag := flag.String("loss-rates", "0,0.05,0.1,0.2", "loss probabilities for -fault loss")
+	restartTimesFlag := flag.String("restart-times", "10,20,30", "restart times in seconds for -fault restart")
 	flag.Parse()
 
 	schemes, err := parseSchemes(*schemesFlag)
@@ -56,6 +67,14 @@ func main() {
 		os.Exit(2)
 	}
 	dur := tvatime.FromSeconds(*durationSec).Sub(0)
+
+	if *faultMode != "" {
+		if err := faultSweep(*faultMode, schemes, dur, *seed, *lossRatesFlag, *restartTimesFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	figs := []string{*fig}
 	if *fig == "all" {
@@ -158,6 +177,15 @@ func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime
 	if d := tel.Demotions.Total(); d > 0 {
 		fmt.Printf("demotions at routers: %d\n", d)
 	}
+	if tel.LinkDrops.Total() > 0 {
+		fmt.Println("link fault losses by reason (separate from queue drops):")
+		for i := 0; i < telemetry.NumDropReasons; i++ {
+			r := telemetry.DropReason(i)
+			if n := tel.LinkDrops.Get(r); n > 0 {
+				fmt.Printf("  %-22s %12d\n", r, n)
+			}
+		}
+	}
 	fmt.Printf("host egress drops (silent loss before routers): %d\n", tel.HostEgressDrops)
 	fmt.Printf("queue delay p50=%.3fms p99=%.3fms  e2e p50=%.3fms p99=%.3fms\n",
 		tel.QueueDelay.Quantile(0.5).Seconds()*1e3, tel.QueueDelay.Quantile(0.99).Seconds()*1e3,
@@ -192,6 +220,64 @@ func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime
 		tel.Trace.WriteText(os.Stdout)
 	}
 	return nil
+}
+
+// faultSweep runs the recovery experiments: per scheme, either a
+// bottleneck loss-rate sweep or a router restart-time sweep.
+func faultSweep(mode string, schemes []exp.Scheme, dur tvatime.Duration, seed int64, lossRates, restartTimes string) error {
+	switch mode {
+	case "loss":
+		rates, err := parseFloats(lossRates)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# fault: bottleneck loss sweep (no attack, %.0fs, seed %d)\n", dur.Seconds(), seed)
+		fmt.Printf("%-10s %10s %12s %14s %12s\n",
+			"scheme", "loss", "completion", "xfer-time(s)", "link-drops")
+		for _, scheme := range schemes {
+			base := exp.Config{Scheme: scheme, Duration: dur, Seed: seed}
+			for _, p := range exp.LossSweep(base, rates) {
+				fmt.Printf("%-10s %10.3f %12.3f %14.3f %12d\n",
+					scheme, p.LossRate, p.CompletionFraction, p.AvgTransferTime, p.LinkDrops)
+			}
+			fmt.Println()
+		}
+	case "restart":
+		times, err := parseFloats(restartTimes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# fault: router restart sweep (no attack, %.0fs, seed %d)\n", dur.Seconds(), seed)
+		fmt.Printf("%-10s %12s %12s %16s %12s\n",
+			"scheme", "restart(s)", "completion", "recover-in(s)", "flushed")
+		for _, scheme := range schemes {
+			base := exp.Config{Scheme: scheme, Duration: dur, Seed: seed}
+			for _, p := range exp.RestartSweep(base, times) {
+				rec := "never"
+				if p.TimeToRecoverSec >= 0 {
+					rec = fmt.Sprintf("%.3f", p.TimeToRecoverSec)
+				}
+				fmt.Printf("%-10s %12.1f %12.3f %16s %12d\n",
+					scheme, p.RestartAtSec, p.CompletionFraction, rec, p.FlushedPkts)
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown -fault mode %q (want loss or restart)", mode)
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 func parseSchemes(s string) ([]exp.Scheme, error) {

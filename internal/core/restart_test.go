@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+// A restart flushes the soft state (flow cache, path-id history) but
+// keeps the capability secrets, so outstanding capabilities stay valid
+// and flows revalidate from the lists they carry (§3.8, §3.6).
+func TestRouterRestartFlushesSoftStateKeepsSecrets(t *testing.T) {
+	r := newTestRouter(true)
+	now := at(1)
+	cap0 := grantFor(t, r, 1, 2, 32, 10, now)
+
+	// Seed a cache entry with a regular packet.
+	reg := regPacket(1, 2, packet.KindRegular, 77, []uint64{cap0}, 32, 10, 500)
+	if got := r.Process(reg, 0, now); got != packet.ClassRegular {
+		t.Fatalf("pre-restart regular packet classified %v", got)
+	}
+	if r.Cache().Len() != 1 {
+		t.Fatalf("cache has %d entries, want 1", r.Cache().Len())
+	}
+	tagBefore := pathTag(t, r, 3, now)
+
+	r.Restart()
+
+	if got := r.Restarts(); got != 1 {
+		t.Errorf("Restarts = %d, want 1", got)
+	}
+	if r.Cache().Len() != 0 {
+		t.Errorf("cache has %d entries after restart, want 0 (soft state)", r.Cache().Len())
+	}
+	if tagAfter := pathTag(t, r, 3, now); tagAfter == tagBefore {
+		t.Errorf("path-id tag unchanged across restart; history should be re-keyed")
+	}
+
+	// A nonce-only packet has nothing to revalidate with: demoted.
+	nonceOnly := regPacket(1, 2, packet.KindNonceOnly, 77, nil, 32, 10, 500)
+	if got := r.Process(nonceOnly, 0, now.Add(0)); got != packet.ClassLegacy {
+		t.Errorf("nonce-only after restart classified %v, want legacy (cache entry gone)", got)
+	}
+
+	// The same capability list still validates: secrets survived.
+	reg2 := regPacket(1, 2, packet.KindRegular, 78, []uint64{cap0}, 32, 10, 500)
+	if got := r.Process(reg2, 0, now.Add(0)); got != packet.ClassRegular {
+		t.Errorf("capability-carrying packet after restart classified %v, want regular", got)
+	}
+	if r.Cache().Len() != 1 {
+		t.Errorf("cache has %d entries after revalidation, want 1", r.Cache().Len())
+	}
+}
+
+// pathTag stamps a fresh request through interface iface and returns
+// the path identifier the router applied.
+func pathTag(t *testing.T, r *Router, iface int, now tvatime.Time) packet.PathID {
+	t.Helper()
+	req := reqPacket(9, 10, 0)
+	r.Process(req, iface, now)
+	if len(req.Hdr.Request.PathIDs) != 1 {
+		t.Fatal("no path id stamped")
+	}
+	return req.Hdr.Request.PathIDs[0]
+}

@@ -52,9 +52,10 @@ type RouterStats struct {
 // Router is one TVA capability router's processing state. It is not
 // safe for concurrent use; wrap calls in the owner's event loop.
 type Router struct {
-	cfg   RouterConfig
-	auth  *capability.Authority
-	cache *flowcache.Cache
+	cfg      RouterConfig
+	auth     *capability.Authority
+	cache    *flowcache.Cache
+	restarts uint64
 
 	Stats RouterStats
 	// Demotions attributes every demotion (the capability router's
@@ -93,6 +94,28 @@ func NewAuthorityCache(entries int) *flowcache.Cache { return flowcache.New(entr
 // Authority exposes the router's capability authority (for tests and
 // the overlay's diagnostics).
 func (r *Router) Authority() *capability.Authority { return r.auth }
+
+// Restarts counts Restart calls (crash/reboot cycles).
+func (r *Router) Restarts() uint64 { return r.restarts }
+
+// Restart models a router crash and reboot: all soft state — the flow
+// cache and, at trust boundaries, the path-identifier tag history — is
+// lost, while the capability secrets survive (§3.8 rotates them on a
+// slow schedule precisely so that a reboot within a rotation period
+// does not invalidate outstanding capabilities; a router that lost its
+// secrets would demote every regular packet until T expired). Queue
+// state lives with the owning link, so the caller flushes its
+// interfaces separately (netsim.Iface.Flush). Flows whose cache
+// entries vanished revalidate from the capability lists hosts
+// re-attach, or re-request — the recovery path §3.7's host-side cache
+// model exists for.
+func (r *Router) Restart() {
+	r.restarts++
+	r.cache.Flush()
+	if r.cfg.Tagger != nil {
+		r.cfg.Tagger.Rekey(r.restarts)
+	}
+}
 
 // Cache exposes the router's flow cache.
 func (r *Router) Cache() *flowcache.Cache { return r.cache }

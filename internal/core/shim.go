@@ -36,6 +36,16 @@ type ShimConfig struct {
 	// (grants, demotion notices) when no outbound traffic picked it up
 	// in the same event (default true). Pure receivers need it.
 	AutoReturn bool
+
+	// Reliability engine (active only when Shim.After is set): a
+	// request or renewal whose answer does not arrive within RetryRTO
+	// is retransmitted as a bare knock, with the timeout doubling up to
+	// RetryRTOMax, for at most RetryCap attempts per episode. Defaults:
+	// 250 ms / 4 s / 8. Lost requests and lost grants both look the
+	// same from here — no fresh grant — so one timer covers both.
+	RetryRTO    tvatime.Duration
+	RetryRTOMax tvatime.Duration
+	RetryCap    int
 }
 
 func (c ShimConfig) withDefaults() ShimConfig {
@@ -53,6 +63,15 @@ func (c ShimConfig) withDefaults() ShimConfig {
 	}
 	if c.ReattachMinGap <= 0 {
 		c.ReattachMinGap = 100 * tvatime.Millisecond
+	}
+	if c.RetryRTO <= 0 {
+		c.RetryRTO = 250 * tvatime.Millisecond
+	}
+	if c.RetryRTOMax <= 0 {
+		c.RetryRTOMax = 4 * tvatime.Second
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 8
 	}
 	return c
 }
@@ -86,6 +105,11 @@ type ShimStats struct {
 	Reacquires     uint64
 	ReturnsCarried uint64
 	AutoReturns    uint64
+
+	// Reliability engine (Shim.After).
+	RetriesSent       uint64 // bare knocks sent because no grant answered in time
+	RetriesAbandoned  uint64 // episodes that exhausted RetryCap
+	ProactiveRenewals uint64 // renewals initiated by the timer, not by traffic
 }
 
 // Shim is one host's TVA layer. Output is the function that hands a
@@ -103,12 +127,32 @@ type Shim struct {
 	// Deliver hands an incoming payload to the upper layer; demoted
 	// reports the packet arrived demoted (optional).
 	Deliver func(src packet.Addr, proto packet.Proto, payload any, size int, demoted bool)
+	// After, when set, schedules fn after d and turns on the shim's
+	// reliability engine: unanswered requests and renewals are
+	// retransmitted with exponential backoff, and grants are renewed
+	// proactively at RenewAt of their lifetime even when no traffic is
+	// flowing to piggyback the renewal on. Left nil (the overlay, old
+	// tests), the shim is exactly as lossy as the network: a lost
+	// request stays lost until the upper layer resends.
+	After func(d tvatime.Duration, fn func())
 
 	sends     map[packet.Addr]*sendState
 	pending   map[packet.Addr]*packet.ReturnInfo
 	demotions map[packet.Addr]Demotion
+	retries   map[packet.Addr]*retryState
 
 	Stats ShimStats
+}
+
+// retryState is one destination's retransmission episode: armed when a
+// request or renewal goes out, disarmed when any grant or refusal
+// answers. gen invalidates timers from superseded episodes, so a stale
+// closure firing after the answer arrived is a no-op.
+type retryState struct {
+	gen      uint64
+	attempts int
+	rto      tvatime.Duration
+	waiting  bool
 }
 
 // Demotion is the most recent demotion evidence involving a peer: the
@@ -135,6 +179,7 @@ func NewShim(addr packet.Addr, policy Policy, clock tvatime.Clock, rng *rand.Ran
 		sends:     make(map[packet.Addr]*sendState),
 		pending:   make(map[packet.Addr]*packet.ReturnInfo),
 		demotions: make(map[packet.Addr]Demotion),
+		retries:   make(map[packet.Addr]*retryState),
 	}
 }
 
@@ -170,6 +215,13 @@ func (s *Shim) Send(dst packet.Addr, proto packet.Proto, payload any, size int) 
 	switch {
 	case st == nil || !st.granted:
 		s.makeRequest(dst, h, now)
+		if proto != packet.ProtoControl {
+			// Arm retransmission only for requests something is waiting
+			// on. A return-info carrier that doubles as a request is
+			// opportunistic: retrying it would have every grant issued
+			// to a silent peer spawn a knock storm toward it.
+			s.armRetry(dst)
+		}
 	default:
 		s.fillGranted(dst, st, h, size, now)
 	}
@@ -216,6 +268,67 @@ func (s *Shim) makeRequest(dst packet.Addr, h *packet.CapHdr, now tvatime.Time) 
 	}
 }
 
+// armRetry starts a retransmission episode toward dst if none is
+// pending. It is called for every request and renewal sent, so the
+// first send of an episode arms the timer and the rest (TCP's own
+// retransmissions, renewals piggybacked on data) leave it alone.
+func (s *Shim) armRetry(dst packet.Addr) {
+	if s.After == nil {
+		return
+	}
+	rs := s.retries[dst]
+	if rs == nil {
+		rs = &retryState{}
+		s.retries[dst] = rs
+	}
+	if rs.waiting {
+		return
+	}
+	rs.waiting = true
+	rs.attempts = 0
+	rs.rto = s.cfg.RetryRTO
+	s.scheduleRetry(dst, rs)
+}
+
+func (s *Shim) scheduleRetry(dst packet.Addr, rs *retryState) {
+	rs.gen++
+	gen := rs.gen
+	s.After(rs.rto, func() { s.retryFire(dst, gen) })
+}
+
+// retryFire retransmits an unanswered request or renewal as a bare
+// ProtoRaw knock (a control carrier would skip authorization at the
+// receiver) and re-arms with the backed-off timeout. Send rebuilds the
+// right header from current state: a fresh request if the grant is
+// gone, a renewal if the old grant is still usable.
+func (s *Shim) retryFire(dst packet.Addr, gen uint64) {
+	rs := s.retries[dst]
+	if rs == nil || !rs.waiting || rs.gen != gen {
+		return
+	}
+	if rs.attempts >= s.cfg.RetryCap {
+		rs.waiting = false
+		s.Stats.RetriesAbandoned++
+		return
+	}
+	rs.attempts++
+	rs.rto *= 2
+	if rs.rto > s.cfg.RetryRTOMax {
+		rs.rto = s.cfg.RetryRTOMax
+	}
+	s.Stats.RetriesSent++
+	s.scheduleRetry(dst, rs)
+	s.Send(dst, packet.ProtoRaw, nil, 0)
+}
+
+// clearRetry ends the episode: the request or renewal was answered.
+func (s *Shim) clearRetry(dst packet.Addr) {
+	if rs := s.retries[dst]; rs != nil && rs.waiting {
+		rs.waiting = false
+		rs.gen++
+	}
+}
+
 func (s *Shim) fillGranted(dst packet.Addr, st *sendState, h *packet.CapHdr, size int, now tvatime.Time) {
 	n := st.n()
 	age := now.Sub(st.grantedAt)
@@ -243,6 +356,9 @@ func (s *Shim) fillGranted(dst packet.Addr, st *sendState, h *packet.CapHdr, siz
 		h.NKB, h.TSec = st.nkb, st.tsec
 		st.capsSent++
 		s.Stats.RenewalsSent++
+		if h.Proto != packet.ProtoControl {
+			s.armRetry(dst) // same carrier exemption as requests
+		}
 	case attachCaps:
 		h.Kind = packet.KindRegular
 		h.Caps = append(h.Caps[:0], st.caps...)
@@ -333,11 +449,15 @@ func (s *Shim) applyReturn(src packet.Addr, ret *packet.ReturnInfo, now tvatime.
 	if ret.Grant != nil {
 		if len(ret.Grant.Caps) == 0 {
 			// An empty capability list is an explicit refusal (§4.2).
+			// An answer all the same: retrying a refused request would
+			// just be unwanted traffic.
 			s.Stats.Refusals++
+			s.clearRetry(src)
 			return
 		}
 		s.Stats.GrantsReceived++
-		s.sends[src] = &sendState{
+		s.clearRetry(src)
+		st := &sendState{
 			granted:   true,
 			nonce:     s.rng.Uint64() & packet.NonceMask,
 			caps:      append([]uint64(nil), ret.Grant.Caps...),
@@ -345,6 +465,8 @@ func (s *Shim) applyReturn(src packet.Addr, ret *packet.ReturnInfo, now tvatime.
 			tsec:      ret.Grant.TSec,
 			grantedAt: now,
 		}
+		s.sends[src] = st
+		s.scheduleProactiveRenew(src, st)
 	}
 	if ret.DemotionNotice {
 		s.demotions[src] = Demotion{
@@ -354,6 +476,36 @@ func (s *Shim) applyReturn(src packet.Addr, ret *packet.ReturnInfo, now tvatime.
 		}
 		s.repair(src, now)
 	}
+}
+
+// scheduleProactiveRenew arms a one-shot timer at RenewAt of the
+// grant's lifetime. A busy flow renews through its own data packets
+// long before the timer fires (the grant has usually been superseded,
+// making the closure a no-op); the timer exists for flows idle or slow
+// enough that no data packet crosses the renewal threshold before T
+// runs out — without it, such a flow's next send after expiry falls
+// all the way back to a request through the contended request channel.
+func (s *Shim) scheduleProactiveRenew(dst packet.Addr, st *sendState) {
+	if s.After == nil {
+		return
+	}
+	life := tvatime.Duration(st.tsec) * tvatime.Second
+	s.After(tvatime.Duration(s.cfg.RenewAt*float64(life)), func() {
+		if cur := s.sends[dst]; cur != st || !cur.granted {
+			return // superseded or torn down; a newer grant has its own timer
+		}
+		if !st.everSent || s.clock.Now().Sub(st.lastSend) >= s.cfg.IdleReattach {
+			// The flow has gone quiet (or never spoke): renewing would
+			// keep dead authorizations alive indefinitely — 100 finished
+			// attackers re-knocking every period. Let an idle flow's
+			// next send fall back to a request instead.
+			return
+		}
+		s.Stats.ProactiveRenewals++
+		// A bare knock: fillGranted sees age >= RenewAt*life and builds
+		// the renewal (or a fresh request if the grant died meanwhile).
+		s.Send(dst, packet.ProtoRaw, nil, 0)
+	})
 }
 
 // repair responds to a demotion echo: first re-attach the capability

@@ -147,6 +147,26 @@ type Config struct {
 	// simulation speed; capability.Crypto is the paper's construction).
 	Suite capability.Suite
 
+	// Fault injection: all zeros model a perfect network. LossRate and
+	// DupProb are per-packet probabilities on the bottleneck link (both
+	// directions, independent per-direction seeded PRNGs); LinkJitter
+	// adds a uniform [0, LinkJitter) per-packet extra delay.
+	LossRate   float64
+	DupProb    float64
+	LinkJitter tvatime.Duration
+
+	// RestartAt, if positive, crashes and restarts the left (user-side)
+	// router at that virtual time: its output queues are flushed and,
+	// under TVA, its flow cache and path-identifier history are lost
+	// while capability secrets survive (§3.8).
+	RestartAt tvatime.Duration
+
+	// OutageStart/OutageDuration, if the duration is positive, take the
+	// bottleneck link down (both directions) for the window; queued and
+	// in-flight packets are cut.
+	OutageStart    tvatime.Duration
+	OutageDuration tvatime.Duration
+
 	// MetricsInterval, if positive, samples per-router gauges and
 	// cumulative drop counters every interval of virtual time into
 	// Result.Telemetry.Sampler. Sampling is off the forwarding path

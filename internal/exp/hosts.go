@@ -64,6 +64,10 @@ func newTVAHost(sim *netsim.Sim, name string, addr packet.Addr, policy core.Poli
 		AutoReturn: true,
 	})
 	shim.Output = func(pkt *packet.Packet) { h.node.Send(pkt) }
+	// The reliability engine: simulated hosts retransmit unanswered
+	// requests/renewals and renew proactively (the overlay leaves this
+	// to real deployments' own timers).
+	shim.After = sim.After
 	shim.Deliver = h.deliver
 	h.tvaShim = shim
 	h.stack = newTCPStack(sim, addr, func(dst packet.Addr, seg *tcp.Segment) {

@@ -216,6 +216,8 @@ func Run(cfg Config) *Result {
 		lr.TraceID = 1 // the left (bottleneck-facing) router
 	}
 
+	b.applyFaults(lr, rl, left)
+
 	if Debug != nil {
 		Debug(lr)
 		if DebugEnq != nil {

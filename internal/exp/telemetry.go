@@ -28,6 +28,13 @@ type RunTelemetry struct {
 	// queues. Without it that loss is silent and skews goodput.
 	HostEgressDrops uint64
 
+	// LinkDrops attributes fault losses — wire loss, down-window cuts,
+	// restart flushes — across both routers' interfaces, by reason.
+	// These are physical-layer losses, separate from SchedDrops'
+	// queue-full enqueue drops, so the SchedDrops/BottleneckDrops
+	// equality is unaffected by fault injection.
+	LinkDrops telemetry.DropCounters
+
 	// QueueDelay is the distribution of time spent in the forward
 	// bottleneck's output queue (virtual time, enqueue to dequeue).
 	QueueDelay telemetry.Histogram
@@ -119,6 +126,10 @@ func (b *builder) startSampler(tel *RunTelemetry, lr *netsim.Iface) {
 		}
 		s.AddGauge("drops_total", func() float64 { return float64(drops.Total()) })
 	}
+	rl := lr.Peer
+	s.AddGauge("link_fault_drops", func() float64 {
+		return float64(lr.FaultDrops.Total() + rl.FaultDrops.Total())
+	})
 
 	stop := sim.Every(cfg.MetricsInterval, func() { s.Sample(sim.Now()) })
 	b.stops = append(b.stops, stop)
@@ -134,6 +145,14 @@ func (b *builder) finishTelemetry(tel *RunTelemetry, lr *netsim.Iface) {
 	}
 	if rc, ok := lr.Sched.(sched.ReasonCounter); ok {
 		tel.SchedDrops = *rc.DropReasons()
+	}
+	// Fault losses can happen on any interface either router owns (the
+	// restart flush hits the left router's access links too).
+	for _, ifc := range lr.Node.Ifaces() {
+		tel.LinkDrops.Merge(&ifc.FaultDrops)
+	}
+	for _, ifc := range lr.Peer.Node.Ifaces() {
+		tel.LinkDrops.Merge(&ifc.FaultDrops)
 	}
 	for _, rtr := range b.tvaRouters {
 		tel.Demotions.Merge(&rtr.Demotions)

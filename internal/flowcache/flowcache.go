@@ -208,6 +208,19 @@ func (c *Cache) Replace(e *Entry, nonce, cap uint64, n int64, tsec uint8, expiry
 	return true
 }
 
+// Flush drops every entry — the crash/restart model of §3.6: router
+// flow state is soft, so a rebooted router comes up with an empty
+// cache and flows revalidate with the capabilities they carry (or
+// re-request). Reclaimed entries go to the free list; statistics
+// survive the flush (they describe the process, not the boot).
+func (c *Cache) Flush() {
+	for _, e := range c.byTTL {
+		c.freePut(e)
+	}
+	c.byTTL = c.byTTL[:0]
+	clear(c.entries)
+}
+
 // evictExpired reclaims the entry with the earliest ttl if that ttl
 // has passed, making room for a new flow. Stale heap keys (from
 // charges) are repaired as they surface; dead entries are drained.

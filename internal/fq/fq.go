@@ -184,6 +184,27 @@ func (d *DRR) Dequeue() *packet.Packet {
 	return nil
 }
 
+// Flush drains every queue, handing each packet to release (the
+// caller's drop-accounting + pool-release path), and retires the
+// emptied flowqs to the free list. Used by router restart and
+// link-teardown paths; not on the hot path.
+func (d *DRR) Flush(release func(*packet.Packet)) {
+	for d.head != nil {
+		q := d.head
+		for q.len() > 0 {
+			release(q.popFront())
+		}
+		q.byteCount = 0
+		q.deficit = 0
+		d.ringRemove(q)
+		delete(d.queues, q.key)
+		q.next = d.free
+		d.free = q
+	}
+	d.bytes = 0
+	d.pkts = 0
+}
+
 func (d *DRR) ringPush(q *flowq) {
 	if d.head == nil {
 		q.next, q.prev = q, q
@@ -283,6 +304,17 @@ func (f *FIFO) Dequeue() *packet.Packet {
 	}
 	f.curBytes -= pkt.Size
 	return pkt
+}
+
+// Flush drains the FIFO, handing each packet to release.
+func (f *FIFO) Flush(release func(*packet.Packet)) {
+	for {
+		pkt := f.Dequeue()
+		if pkt == nil {
+			return
+		}
+		release(pkt)
+	}
 }
 
 // TokenBucket rate-limits a traffic class to rate bytes/second with a

@@ -210,7 +210,10 @@ func (n *Node) Send(pkt *packet.Packet) {
 // String implements fmt.Stringer.
 func (n *Node) String() string { return n.Name }
 
-// IfaceStats counts traffic through one link direction.
+// IfaceStats counts traffic through one link direction. DroppedPkts
+// counts enqueue (queue-full) drops only; LostPkts counts fault losses
+// — wire loss, down-window cuts, and restart flushes — which are
+// attributed by reason in Iface.FaultDrops.
 type IfaceStats struct {
 	EnqueuedPkts  uint64
 	EnqueuedBytes uint64
@@ -218,6 +221,8 @@ type IfaceStats struct {
 	SentBytes     uint64
 	DroppedPkts   uint64
 	DroppedBytes  uint64
+	LostPkts      uint64
+	LostBytes     uint64
 }
 
 // Iface is one direction of a link: the sending side's output queue
@@ -248,8 +253,14 @@ type Iface struct {
 	Tracer  telemetry.Tracer
 	TraceID int
 
+	// FaultDrops attributes every fault loss on this interface —
+	// link-loss, link-down, router-restart — by reason (impair.go).
+	FaultDrops telemetry.DropCounters
+
 	busy         bool
 	retryPending bool
+	down         bool
+	impair       *Impairment
 }
 
 // Connect joins two nodes with a full-duplex link. bps and delay apply
@@ -331,6 +342,12 @@ func (i *Iface) txTime(size int) tvatime.Duration {
 
 func (i *Iface) txNext() {
 	sim := i.Node.Sim
+	if i.down {
+		// The interface stops serving its queue while down; SetDown(false)
+		// kicks the loop back into motion.
+		i.busy = false
+		return
+	}
 	pkt, retry := i.Sched.Dequeue(sim.now)
 	if pkt == nil {
 		i.busy = false
@@ -354,7 +371,7 @@ func (i *Iface) txNext() {
 	sim.After(i.txTime(pkt.Size), func() {
 		i.Stats.SentPkts++
 		i.Stats.SentBytes += uint64(pkt.Size)
-		sim.After(i.Delay, func() { i.deliver(pkt) })
+		i.launch(pkt)
 		i.txNext()
 	})
 }

@@ -19,9 +19,21 @@
 //     buffer, or an observer still holds.
 package packet
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// live counts packets acquired and not yet released — the pool gauge.
+// Restart/link-down flushes are verified against it: after a crash
+// flush, Live must return to its pre-fault baseline, or queue state
+// leaked pooled packets.
+var live atomic.Int64
+
+// Live returns the number of pool-acquired packets not yet released.
+func Live() int64 { return live.Load() }
 
 // AcquirePacket returns a zeroed packet owned by the caller. Its
 // scratch header (NewHdr) and slice capacities are recycled from
@@ -29,6 +41,7 @@ var pool = sync.Pool{New: func() any { return new(Packet) }}
 func AcquirePacket() *Packet {
 	p := pool.Get().(*Packet)
 	p.pooled = true
+	live.Add(1)
 	return p
 }
 
@@ -40,6 +53,7 @@ func Release(p *Packet) {
 		return
 	}
 	p.reset()
+	live.Add(-1)
 	pool.Put(p)
 }
 

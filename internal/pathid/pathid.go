@@ -35,6 +35,16 @@ func NewSeeded(seed uint64) *Tagger {
 	return &Tagger{k0: seed, k1: seed ^ 0x9e3779b97f4a7c15}
 }
 
+// Rekey deterministically re-derives the tagger's key material, as a
+// rebooted trust-boundary router would when its (unlike the capability
+// secrets, not §3.8-persistent) tag configuration is regenerated.
+// In-flight requests queued under old tags simply land in different
+// fair queues until they drain; salt keeps successive reboots distinct.
+func (t *Tagger) Rekey(salt uint64) {
+	t.k0 = t.k0*0x9e3779b97f4a7c15 + salt + 1
+	t.k1 = t.k1 ^ (t.k0 >> 17) ^ (salt * 0xc4ceb9fe1a85ec53)
+}
+
 // ForInterface returns the tag for an incoming interface index.
 func (t *Tagger) ForInterface(iface int) packet.PathID {
 	h := t.k0 ^ uint64(iface)

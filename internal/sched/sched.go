@@ -27,6 +27,17 @@ type DropCounter interface {
 	DropCount() uint64
 }
 
+// Flusher is implemented by schedulers whose queue state can be torn
+// down cleanly (router restart, link removal). Flush must hand every
+// queued packet — including any internally parked state such as a
+// rate-limiter holdover — to release exactly once, so the owner can
+// attribute the loss and return pooled packets to the pool. Flushed
+// packets are NOT counted as enqueue drops: the scheduler accepted
+// them, the fault discarded them, so the fault's owner accounts them.
+type Flusher interface {
+	Flush(release func(*packet.Packet))
+}
+
 // ReasonCounter is implemented by schedulers that attribute every drop
 // to a telemetry.DropReason. DropReasons exposes the per-reason
 // counters; LastDropReason reports why the most recent Enqueue
@@ -99,6 +110,9 @@ func (s *DropTail) Dequeue(_ tvatime.Time) (*packet.Packet, tvatime.Time) {
 
 // Len implements Scheduler.
 func (s *DropTail) Len() int { return s.q.Len() }
+
+// Flush implements Flusher.
+func (s *DropTail) Flush(release func(*packet.Packet)) { s.q.Flush(release) }
 
 // DropCount implements DropCounter.
 func (s *DropTail) DropCount() uint64 { return s.Drops.Total() }
@@ -296,6 +310,18 @@ func (s *TVA) Len() int {
 	return n
 }
 
+// Flush implements Flusher: all three classes and the rate-limiter
+// holdover are drained, so a restarted router's link starts empty.
+func (s *TVA) Flush(release func(*packet.Packet)) {
+	if s.holdover != nil {
+		release(s.holdover)
+		s.holdover = nil
+	}
+	s.request.Flush(release)
+	s.regular.Flush(release)
+	s.legacy.Flush(release)
+}
+
 // DropCount implements DropCounter.
 func (s *TVA) DropCount() uint64 { return s.Drops.Total() }
 
@@ -386,6 +412,12 @@ func (s *SIFF) Dequeue(_ tvatime.Time) (*packet.Packet, tvatime.Time) {
 
 // Len implements Scheduler.
 func (s *SIFF) Len() int { return s.high.Len() + s.low.Len() }
+
+// Flush implements Flusher.
+func (s *SIFF) Flush(release func(*packet.Packet)) {
+	s.high.Flush(release)
+	s.low.Flush(release)
+}
 
 // DropCount implements DropCounter.
 func (s *SIFF) DropCount() uint64 { return s.Drops.Total() }

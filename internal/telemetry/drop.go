@@ -59,9 +59,18 @@ const (
 	DropInboxOverflow
 	// DropFilter: a pushback rate-limit filter discarded the packet.
 	DropFilter
+	// DropLinkLoss: the packet was lost on the wire by a lossy-link
+	// impairment model (random loss or duplication-free corruption).
+	DropLinkLoss
+	// DropLinkDown: the packet was transmitted into (or in flight
+	// across) a link that is inside a scheduled down window.
+	DropLinkDown
+	// DropRouterRestart: the packet was sitting in a router's output
+	// queue when the router crashed; the restart flush released it.
+	DropRouterRestart
 
 	// NumDropReasons sizes per-router counter arrays.
-	NumDropReasons = int(DropFilter) + 1
+	NumDropReasons = int(DropRouterRestart) + 1
 )
 
 var dropReasonNames = [NumDropReasons]string{
@@ -76,6 +85,9 @@ var dropReasonNames = [NumDropReasons]string{
 	DropFlowCachePressure:  "flowcache-pressure",
 	DropInboxOverflow:      "inbox-overflow",
 	DropFilter:             "filter",
+	DropLinkLoss:           "link-loss",
+	DropLinkDown:           "link-down",
+	DropRouterRestart:      "router-restart",
 }
 
 // String returns the stable kebab-case name used in JSON/CSV output.
