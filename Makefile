@@ -4,7 +4,7 @@ GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # job raises it (make fuzz-smoke FUZZTIME=30s).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race bench bench-guard fuzz-smoke cover check
+.PHONY: all build vet lint test race bench bench-guard fuzz-smoke cover trace-smoke check
 
 all: check
 
@@ -54,5 +54,17 @@ fuzz-smoke:
 cover:
 	go test -vet=off -coverprofile=cover.out ./...
 	go tool cover -func=cover.out | tail -1
+
+# trace-smoke round-trips a real flight-recorder dump through every
+# tvatrace subcommand: a short traced Fig. 9 run writes smoke.trace,
+# then each query must parse it and exit zero (chrome output is
+# discarded; CI uploads smoke.trace itself as an artifact).
+trace-smoke:
+	go run ./cmd/tvasim -fig 9 -schemes tva -attackers 10 -duration 5 -tracefile smoke.trace
+	go run ./cmd/tvatrace summary smoke.trace
+	go run ./cmd/tvatrace slowest -n 3 smoke.trace
+	go run ./cmd/tvatrace hops smoke.trace
+	go run ./cmd/tvatrace drops smoke.trace
+	go run ./cmd/tvatrace chrome -o /dev/null smoke.trace
 
 check: build lint test race bench-guard

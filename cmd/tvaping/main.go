@@ -57,7 +57,7 @@ func main() {
 		Listen:  *listen,
 		Gateway: *gw,
 		Policy:  policy,
-		Shim:    core.ShimConfig{Suite: suite, AutoReturn: true},
+		Shim:    core.ShimConfig{Suite: suite, AutoReturn: true, CollectHops: true},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -101,15 +101,19 @@ func main() {
 					detail = fmt.Sprintf(" (%s at router %d)", d.Reason, d.Router)
 				}
 			}
-			fmt.Printf("reply from %s: seq=%d rtt=%v mode=%s demoted=%v%s\n",
-				msg.Src, i, time.Since(start).Round(time.Microsecond), state, msg.Demoted, detail)
+			rtt := time.Since(start).Round(time.Microsecond)
+			fmt.Printf("reply from %s: seq=%d rtt=%v mode=%s demoted=%v%s%s\n",
+				msg.Src, i, rtt, state, msg.Demoted, detail, hopBreakdown(h.HopReport(dst), rtt))
 		case <-time.After(2 * time.Second):
 			// A demotion notice carried back on the reverse channel
-			// tells us which router stopped honouring the path and why.
+			// tells us which router stopped honouring the path and why;
+			// the last hop report shows where the queue wait was before
+			// the path went dark.
+			hops := hopBreakdown(h.HopReport(dst), 0)
 			if d, ok := h.LastDemotion(dst); ok {
-				fmt.Printf("timeout seq=%d (path demoted: %s at router %d)\n", i, d.Reason, d.Router)
+				fmt.Printf("timeout seq=%d (path demoted: %s at router %d)%s\n", i, d.Reason, d.Router, hops)
 			} else {
-				fmt.Printf("timeout seq=%d\n", i)
+				fmt.Printf("timeout seq=%d%s\n", i, hops)
 			}
 		}
 		time.Sleep(*interval)
@@ -117,6 +121,31 @@ func main() {
 	st := h.Stats()
 	fmt.Printf("shim: requests=%d grants=%d regular=%d nonce-only=%d renewals=%d\n",
 		st.RequestsSent, st.GrantsReceived, st.RegularSent, st.NonceOnlySent, st.RenewalsSent)
+}
+
+// hopBreakdown renders the per-hop queue-wait report that capability
+// routers stamp into requests (CollectHops): which router the path
+// crosses and how long packets currently wait in its output queue. The
+// remainder of the RTT, when known, is propagation plus endpoint time.
+func hopBreakdown(hops []packet.HopStamp, rtt time.Duration) string {
+	if len(hops) == 0 {
+		return ""
+	}
+	var queued time.Duration
+	s := " path=["
+	for i, st := range hops {
+		if i > 0 {
+			s += " "
+		}
+		w := time.Duration(st.WaitUs) * time.Microsecond
+		queued += w
+		s += fmt.Sprintf("router%d:%v", st.Router, w)
+	}
+	s += "]"
+	if rtt > 0 {
+		s += fmt.Sprintf(" queued=%v other=%v", queued, (rtt - queued).Round(time.Microsecond))
+	}
+	return s
 }
 
 func parseAddr(s string) (packet.Addr, error) {

@@ -121,7 +121,10 @@ func main() {
 
 // diagnostics snapshots the router's counters for /debug/vars:
 // forwarding totals, reason-attributed scheduler drops, demotion
-// causes, and flow-cache occupancy.
+// causes, flow-cache occupancy, the hop-wait estimate, and one
+// structured gauge block per neighbour port (the same gauges the
+// simulator's sampler records: per-class backlogs, live fair queues,
+// and the request channel's token level).
 func diagnostics(r *overlay.Router) map[string]any {
 	schedDrops := r.SchedDrops()
 	engine := r.Core()
@@ -136,6 +139,19 @@ func diagnostics(r *overlay.Router) map[string]any {
 			demotions[reason.String()] = n
 		}
 	}
+	ports := make([]map[string]any, 0, 4)
+	for _, g := range r.Gauges() {
+		ports = append(ports, map[string]any{
+			"neighbor":           g.Neighbor,
+			"queue_request_pkts": g.RequestPkts,
+			"queue_regular_pkts": g.RegularPkts,
+			"queue_legacy_pkts":  g.LegacyPkts,
+			"regular_queues":     g.RegularQueues,
+			"token_bucket_bytes": g.TokenBytes,
+			"sent_pkts":          g.Sent,
+			"dropped_pkts":       g.Dropped,
+		})
+	}
 	return map[string]any{
 		"received":          r.Received,
 		"forwarded":         r.Forwarded,
@@ -145,6 +161,8 @@ func diagnostics(r *overlay.Router) map[string]any {
 		"sched_drops_total": schedDrops.Total(),
 		"demotions":         demotions,
 		"flowcache_entries": engine.Cache().Len(),
+		"queue_wait_us":     r.QueueWaitMicros(),
+		"ports":             ports,
 	}
 }
 

@@ -20,6 +20,18 @@
 //	tvasim -fig 8 -schemes tva -metrics out.json
 //	tvasim -fig 8 -schemes tva -trace 20
 //
+// With -tracefile FILE, the instrumented run also attaches the span
+// flight recorder (internal/trace) and writes the binary span dump to
+// FILE for offline analysis with tvatrace:
+//
+//	tvasim -fig 9 -schemes tva -tracefile run.trace
+//	tvatrace summary run.trace
+//
+// Even without -tracefile, an instrumented run with -trace-spans > 0
+// keeps the recorder armed and dumps it automatically (to
+// flightrec.trace) if the drop-accounting invariant fails or the
+// drop-storm detector fires.
+//
 // With -fault, tvasim runs the recovery experiments instead of a
 // figure: a bottleneck loss-rate sweep or a router restart-time sweep,
 // reporting completion fraction and (for restarts) time to recover.
@@ -33,11 +45,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"tva/internal/exp"
 	"tva/internal/telemetry"
+	"tva/internal/trace"
 	"tva/internal/tvatime"
 )
 
@@ -51,6 +65,9 @@ func main() {
 	metricsOut := flag.String("metrics", "", "run one instrumented simulation and write its gauge time series to this file (.csv or .json)")
 	metricsIntervalMs := flag.Float64("metrics-interval", 100, "sampler interval in virtual milliseconds (with -metrics)")
 	traceN := flag.Int("trace", 0, "with an instrumented run, print the last N per-packet trace events")
+	traceFile := flag.String("tracefile", "", "run one instrumented simulation with the span flight recorder on and write the binary dump here (query with tvatrace)")
+	traceSpans := flag.Int("trace-spans", 0, "flight-recorder capacity in spans (0 = default with -tracefile, off otherwise)")
+	stormPkts := flag.Int("storm-pkts", 1000, "drop-storm threshold (bottleneck drops per 100ms window) that triggers an automatic flight-recorder dump; 0 disables")
 	faultMode := flag.String("fault", "", "recovery experiment: 'loss' (bottleneck loss sweep) or 'restart' (router restart sweep)")
 	lossRatesFlag := flag.String("loss-rates", "0,0.05,0.1,0.2", "loss probabilities for -fault loss")
 	restartTimesFlag := flag.String("restart-times", "10,20,30", "restart times in seconds for -fault restart")
@@ -81,13 +98,14 @@ func main() {
 		figs = []string{"8", "9", "10", "11"}
 	}
 
-	if *metricsOut != "" || *traceN > 0 {
+	if *metricsOut != "" || *traceN > 0 || *traceFile != "" || *traceSpans > 0 {
 		if len(figs) != 1 {
-			fmt.Fprintln(os.Stderr, "-metrics/-trace need a single -fig (8, 9, 10 or 11)")
+			fmt.Fprintln(os.Stderr, "-metrics/-trace/-tracefile need a single -fig (8, 9, 10 or 11)")
 			os.Exit(2)
 		}
 		if err := instrumentedRun(figs[0], schemes, counts, dur, *seed,
-			*metricsOut, *metricsIntervalMs, *traceN); err != nil {
+			*metricsOut, *metricsIntervalMs, *traceN,
+			*traceFile, *traceSpans, *stormPkts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -130,7 +148,7 @@ func figAttack(fig string) (exp.Attack, error) {
 // optionally the tracer) on, writes the time series, and prints the
 // drop-attribution summary. It verifies the accounting invariant: the
 // per-reason drop counters must sum to the bottleneck's drop total.
-func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime.Duration, seed int64, out string, intervalMs float64, traceN int) error {
+func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime.Duration, seed int64, out string, intervalMs float64, traceN int, traceFile string, traceSpans, stormPkts int) error {
 	attack, err := figAttack(fig)
 	if err != nil {
 		return err
@@ -153,6 +171,13 @@ func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime
 		Seed:            seed,
 		MetricsInterval: tvatime.Duration(intervalMs * float64(tvatime.Millisecond)),
 		TraceEvents:     traceN,
+	}
+	if traceFile != "" && traceSpans <= 0 {
+		traceSpans = trace.DefaultCapacity
+	}
+	if traceSpans > 0 {
+		cfg.SpanCapacity = traceSpans
+		cfg.DropStormPkts = stormPkts
 	}
 	if attack == exp.AttackImpreciseAuth {
 		cfg.NumAttackers = 100
@@ -193,11 +218,38 @@ func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime
 
 	// Accounting invariant: reason-attributed counters cover every
 	// bottleneck drop exactly.
+	var invariantErr error
 	if tel.SchedDrops.Total() != res.BottleneckDrops {
-		return fmt.Errorf("drop accounting mismatch: per-reason sum %d != bottleneck drops %d",
+		invariantErr = fmt.Errorf("drop accounting mismatch: per-reason sum %d != bottleneck drops %d",
 			tel.SchedDrops.Total(), res.BottleneckDrops)
+	} else {
+		fmt.Printf("drop accounting: per-reason sum matches bottleneck total (%d)\n", res.BottleneckDrops)
 	}
-	fmt.Printf("drop accounting: per-reason sum matches bottleneck total (%d)\n", res.BottleneckDrops)
+
+	// Flight-recorder dump: always when -tracefile was given; otherwise
+	// automatically when the accounting invariant failed or the
+	// drop-storm detector fired mid-run.
+	if tel.Spans != nil {
+		if tel.DropStorm {
+			fmt.Printf("drop storm: threshold crossed at t=%.3fs\n", tel.DropStormAt.SecondsF())
+		}
+		dumpTo := traceFile
+		if dumpTo == "" && (invariantErr != nil || tel.DropStorm) {
+			dumpTo = "flightrec.trace"
+			fmt.Printf("flight recorder: auto-dumping to %s\n", dumpTo)
+		}
+		if dumpTo != "" {
+			if err := writeTraceDump(dumpTo, tel.Spans); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d spans (%d recorded, %d overwritten, last trace id %d) to %s\n",
+				tel.Spans.Recorded()-tel.Spans.Overwritten(), tel.Spans.Recorded(),
+				tel.Spans.Overwritten(), tel.Spans.LastID(), dumpTo)
+		}
+	}
+	if invariantErr != nil {
+		return invariantErr
+	}
 
 	if out != "" && tel.Sampler != nil {
 		f, err := os.Create(out)
@@ -220,6 +272,52 @@ func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime
 		tel.Trace.WriteText(os.Stdout)
 	}
 	return nil
+}
+
+// writeTraceDump writes the flight recorder's retained spans to path.
+func writeTraceDump(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteDump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// topDrops formats the largest reason-attributed drop counters as one
+// line, largest first (ties broken by reason order).
+func topDrops(c *telemetry.DropCounters) string {
+	type rc struct {
+		r telemetry.DropReason
+		n uint64
+	}
+	var rows []rc
+	for i := 0; i < telemetry.NumDropReasons; i++ {
+		r := telemetry.DropReason(i)
+		if n := c.Get(r); n > 0 {
+			rows = append(rows, rc{r, n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].r < rows[j].r
+	})
+	if len(rows) == 0 {
+		return "top-drops: none"
+	}
+	if len(rows) > 3 {
+		rows = rows[:3]
+	}
+	s := "top-drops:"
+	for _, row := range rows {
+		s += fmt.Sprintf(" %s=%d", row.r, row.n)
+	}
+	return s
 }
 
 // faultSweep runs the recovery experiments: per scheme, either a
@@ -341,6 +439,14 @@ func sweepFigure(title string, attack exp.Attack, schemes []exp.Scheme, counts [
 		}
 		fmt.Println()
 	}
+
+	// One-line drop attribution across the whole sweep, so the default
+	// figure output already says *why* packets died at the bottleneck.
+	var agg telemetry.DropCounters
+	for _, res := range results {
+		agg.Merge(&res.Telemetry.SchedDrops)
+	}
+	fmt.Println(topDrops(&agg))
 }
 
 // figure11 prints per-2s-bucket maxima of transfer time for the

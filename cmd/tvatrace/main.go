@@ -1,0 +1,390 @@
+// Command tvatrace queries packet-lifecycle trace dumps written by the
+// flight recorder (tvasim -tracefile, or trace.WriteDump):
+//
+//	tvatrace summary dump.trace            # edges, outcomes, drop mix
+//	tvatrace waterfall dump.trace 42       # text waterfall of trace 42
+//	tvatrace slowest -n 10 dump.trace      # slowest deliveries + bottleneck hop
+//	tvatrace hops -dst 192.168.0.1 dump.trace  # per-hop wait/service breakdown
+//	tvatrace drops dump.trace              # drop census by reason and hop
+//	tvatrace drops -id 42 dump.trace       # why trace 42 died + queue sharers
+//	tvatrace chrome dump.trace > t.json    # Chrome Trace Event JSON (Perfetto)
+//
+// Output is deterministic for a given dump: every listing has a fixed
+// sort order and durations print with Go's duration formatting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tva/internal/packet"
+	"tva/internal/telemetry"
+	"tva/internal/trace"
+	"tva/internal/tvatime"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: tvatrace <command> [flags] <dumpfile> [args]
+
+commands:
+  summary    <dump>         span/chain/outcome/drop overview
+  waterfall  <dump> <id>    text waterfall for one trace ID
+  slowest    [-n N] <dump>  top-N slowest delivered packets
+  hops       [-src A] [-dst A] <dump>  per-hop wait/service aggregates
+  drops      [-id N] [-sharers N] <dump>  drop census or single-drop forensics
+  chrome     [-o FILE] <dump>  export Chrome Trace Event JSON (Perfetto)
+`)
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tvatrace: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func loadDump(path string) *trace.Dump {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	d, err := trace.ReadDump(f)
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	return d
+}
+
+func addr(raw uint32) string { return packet.Addr(raw).String() }
+
+// parseAddr accepts a dotted quad.
+func parseAddr(s string) uint32 {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		fatalf("bad address %q (want a.b.c.d)", s)
+	}
+	var b [4]byte
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			fatalf("bad address %q: %v", s, err)
+		}
+		b[i] = byte(v)
+	}
+	return uint32(packet.AddrFrom(b[0], b[1], b[2], b[3]))
+}
+
+func dur(d tvatime.Duration) string {
+	if d < 0 {
+		return "-"
+	}
+	return d.String()
+}
+
+func at(t tvatime.Time) string {
+	if t == trace.NoTime {
+		return "-"
+	}
+	return tvatime.Duration(t).String()
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "summary":
+		if len(args) != 1 {
+			usage()
+		}
+		cmdSummary(loadDump(args[0]))
+	case "waterfall":
+		if len(args) != 2 {
+			usage()
+		}
+		id, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fatalf("bad trace id %q", args[1])
+		}
+		cmdWaterfall(loadDump(args[0]), id)
+	case "slowest":
+		fs := flag.NewFlagSet("slowest", flag.ExitOnError)
+		n := fs.Int("n", 10, "how many to show")
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		cmdSlowest(loadDump(fs.Arg(0)), *n)
+	case "hops":
+		fs := flag.NewFlagSet("hops", flag.ExitOnError)
+		src := fs.String("src", "", "filter to this source address")
+		dst := fs.String("dst", "", "filter to this destination address")
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		var s, d uint32
+		if *src != "" {
+			s = parseAddr(*src)
+		}
+		if *dst != "" {
+			d = parseAddr(*dst)
+		}
+		cmdHops(loadDump(fs.Arg(0)), s, d)
+	case "drops":
+		fs := flag.NewFlagSet("drops", flag.ExitOnError)
+		id := fs.Uint64("id", 0, "forensics for this trace ID")
+		sharers := fs.Int("sharers", 16, "max queue sharers to list")
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		cmdDrops(loadDump(fs.Arg(0)), *id, *sharers)
+	case "chrome":
+		fs := flag.NewFlagSet("chrome", flag.ExitOnError)
+		out := fs.String("o", "", "output file (default stdout)")
+		fs.Parse(args)
+		if fs.NArg() != 1 {
+			usage()
+		}
+		cmdChrome(loadDump(fs.Arg(0)), *out)
+	default:
+		usage()
+	}
+}
+
+func cmdSummary(d *trace.Dump) {
+	var edges [trace.NumEdges]int
+	var t0, t1 tvatime.Time
+	for i, sp := range d.Spans {
+		edges[sp.Edge]++
+		if i == 0 || sp.Time < t0 {
+			t0 = sp.Time
+		}
+		if sp.Time > t1 {
+			t1 = sp.Time
+		}
+	}
+	stats := trace.AnalyzeAll(d.Spans)
+	var outcomes [3]int
+	for i := range stats {
+		outcomes[stats[i].Outcome]++
+	}
+	fmt.Printf("spans:   %d across %d hops, virtual time %s .. %s\n",
+		len(d.Spans), len(d.Hops), at(t0), at(t1))
+	fmt.Printf("packets: %d traced: %d delivered, %d dropped, %d in-flight\n",
+		len(stats), outcomes[trace.ChainDelivered], outcomes[trace.ChainDropped],
+		outcomes[trace.ChainInFlight])
+	fmt.Printf("edges:  ")
+	for e := 0; e < trace.NumEdges; e++ {
+		fmt.Printf(" %s=%d", trace.Edge(e), edges[e])
+	}
+	fmt.Println()
+	printDropCensus(d, stats, 0)
+}
+
+// dropKey groups drops for the census.
+type dropKey struct {
+	reason telemetry.DropReason
+	hop    uint16
+}
+
+func printDropCensus(d *trace.Dump, stats []trace.ChainStats, limit int) {
+	census := map[dropKey]int{}
+	for i := range stats {
+		st := &stats[i]
+		if st.Outcome == trace.ChainDropped {
+			census[dropKey{st.DropReason, st.DropHop}]++
+		}
+	}
+	if len(census) == 0 {
+		fmt.Println("drops:   none recorded")
+		return
+	}
+	type row struct {
+		k dropKey
+		n int
+	}
+	rows := make([]row, 0, len(census))
+	for k, n := range census {
+		rows = append(rows, row{k, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		if rows[i].k.reason != rows[j].k.reason {
+			return rows[i].k.reason < rows[j].k.reason
+		}
+		return rows[i].k.hop < rows[j].k.hop
+	})
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	fmt.Println("drops by reason and hop:")
+	for _, r := range rows {
+		fmt.Printf("  %6d  %-18s %s\n", r.n, r.k.reason, d.HopName(r.k.hop))
+	}
+}
+
+func cmdWaterfall(d *trace.Dump, id uint64) {
+	var spans []trace.Span
+	for _, sp := range d.Spans {
+		if sp.ID == id {
+			spans = append(spans, sp)
+		}
+	}
+	if len(spans) == 0 {
+		fatalf("trace id %d: no spans in dump (never traced, or evicted by ring wraparound)", id)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Seq < spans[j].Seq })
+	st := trace.Analyze(trace.Chain{ID: id, Spans: spans})
+
+	head := fmt.Sprintf("trace %d: %s -> %s, %d B, %s", id, addr(st.Src), addr(st.Dst), st.Size, st.Outcome)
+	if tot := st.Total(); tot >= 0 {
+		head += " in " + dur(tot)
+	}
+	fmt.Println(head)
+
+	base := spans[0].Time
+	for _, sp := range spans {
+		note := ""
+		switch sp.Edge {
+		case trace.EdgeSend:
+			note = trace.KindName(sp.Kind)
+		case trace.EdgeVerdict:
+			note = "class=" + trace.ClassName(sp.Class) + " router=" + strconv.Itoa(int(sp.Router))
+		case trace.EdgeDemote:
+			note = "reason=" + sp.Reason.String() + " router=" + strconv.Itoa(int(sp.Router))
+		case trace.EdgeEnqueue:
+			note = "class=" + trace.ClassName(sp.Class)
+			if trace.ClassName(sp.Class) == "request" {
+				note += " path=" + strconv.Itoa(int(sp.PathID))
+			}
+		case trace.EdgeDrop:
+			note = "reason=" + sp.Reason.String()
+		}
+		fmt.Printf("  t+%-12s %-8s %-22s %s\n",
+			tvatime.Duration(sp.Time-base).String(), sp.Edge, d.HopName(sp.Hop), note)
+	}
+
+	// Per-hop attribution footer.
+	for _, v := range st.Visits {
+		fmt.Printf("  hop %-22s wait=%-10s service=%s\n",
+			d.HopName(v.Hop), dur(v.Wait()), dur(v.Service()))
+	}
+}
+
+func cmdSlowest(d *trace.Dump, n int) {
+	stats := trace.AnalyzeAll(d.Spans)
+	var done []trace.ChainStats
+	for i := range stats {
+		if stats[i].Outcome == trace.ChainDelivered && stats[i].Total() >= 0 {
+			done = append(done, stats[i])
+		}
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Total() != done[j].Total() {
+			return done[i].Total() > done[j].Total()
+		}
+		return done[i].ID < done[j].ID
+	})
+	if n > 0 && len(done) > n {
+		done = done[:n]
+	}
+	fmt.Printf("%-8s %-24s %-12s %-12s %s\n", "id", "flow", "total", "queued", "bottleneck hop")
+	for i := range done {
+		st := &done[i]
+		hop, wait := st.Bottleneck()
+		bn := "-"
+		if hop != trace.NoHop || wait > 0 {
+			bn = fmt.Sprintf("%s (%s)", d.HopName(hop), dur(wait))
+		}
+		fmt.Printf("%-8d %-24s %-12s %-12s %s\n", st.ID,
+			addr(st.Src)+"->"+addr(st.Dst), dur(st.Total()), dur(st.QueueWait()), bn)
+	}
+}
+
+func cmdHops(d *trace.Dump, src, dst uint32) {
+	stats := trace.AnalyzeAll(d.Spans)
+	aggs := trace.AggregateHops(stats, src, dst)
+	if len(aggs) == 0 {
+		fmt.Println("no completed hop visits match")
+		return
+	}
+	fmt.Printf("%-24s %-8s %-12s %-12s %-12s %s\n",
+		"hop", "visits", "mean-wait", "max-wait", "mean-svc", "max-svc")
+	for _, a := range aggs {
+		fmt.Printf("%-24s %-8d %-12s %-12s %-12s %s\n", d.HopName(a.Hop), a.Visits,
+			dur(a.MeanWait()), dur(a.WaitMax), dur(a.MeanService()), dur(a.ServiceMax))
+	}
+}
+
+func cmdDrops(d *trace.Dump, id uint64, maxSharers int) {
+	stats := trace.AnalyzeAll(d.Spans)
+	if id == 0 {
+		printDropCensus(d, stats, 0)
+		return
+	}
+	var st *trace.ChainStats
+	for i := range stats {
+		if stats[i].ID == id {
+			st = &stats[i]
+			break
+		}
+	}
+	if st == nil {
+		fatalf("trace id %d: no spans in dump", id)
+	}
+	if st.Outcome != trace.ChainDropped {
+		fatalf("trace id %d is %s, not dropped (see 'waterfall')", id, st.Outcome)
+	}
+	fmt.Printf("trace %d: %s -> %s, %d B, dropped at t=%s\n",
+		id, addr(st.Src), addr(st.Dst), st.Size, at(st.DropTime))
+	fmt.Printf("  reason: %s\n  hop:    %s\n", st.DropReason, d.HopName(st.DropHop))
+	if len(st.DemotedBy) > 0 {
+		fmt.Printf("  demoted by routers: %v\n", st.DemotedBy)
+	}
+
+	sharers := trace.QueueSharers(d.Spans, st.DropHop, st.DropTime, id)
+	fmt.Printf("  queue sharers at drop time: %d\n", len(sharers))
+	byID := map[uint64]*trace.ChainStats{}
+	for i := range stats {
+		byID[stats[i].ID] = &stats[i]
+	}
+	shown := sharers
+	if maxSharers > 0 && len(shown) > maxSharers {
+		shown = shown[:maxSharers]
+	}
+	for _, sid := range shown {
+		o := byID[sid]
+		if o == nil {
+			continue
+		}
+		fmt.Printf("    id=%-7d %s -> %s  %s  %d B  %s\n", sid,
+			addr(o.Src), addr(o.Dst), trace.ClassName(o.Class), o.Size, o.Outcome)
+	}
+	if len(shown) < len(sharers) {
+		fmt.Printf("    ... %d more\n", len(sharers)-len(shown))
+	}
+}
+
+func cmdChrome(d *trace.Dump, out string) {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteChromeTrace(w, d); err != nil {
+		fatalf("writing chrome trace: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"tva/internal/packet"
 	"tva/internal/pathid"
 	"tva/internal/telemetry"
+	"tva/internal/trace"
 	"tva/internal/tvatime"
 )
 
@@ -67,6 +68,15 @@ type Router struct {
 	// packet. Checked with a single branch so the nil (disabled) case
 	// costs nothing on the hot path.
 	Tracer telemetry.Tracer
+	// Spans, when non-nil, is the flight recorder the router reports
+	// capability verdicts and demotions to (one span per processed
+	// traced packet, plus one per demotion). Same nil-disabled pattern
+	// as Tracer; Record itself is allocation-free.
+	Spans *trace.Recorder
+	// HopWait, when non-nil, supplies the router's current output-queue
+	// wait estimate in microseconds for hop stamps on WantHops requests
+	// (the overlay wires its per-port EWMA here). Nil stamps 0.
+	HopWait func() uint32
 }
 
 // NewRouter builds a router from cfg.
@@ -134,6 +144,7 @@ func (r *Router) Process(pkt *packet.Packet, inIface int, now tvatime.Time) pack
 		r.Stats.Legacy++
 		pkt.Class = packet.ClassLegacy
 		r.trace(pkt, now)
+		r.verdict(pkt, now)
 		return pkt.Class
 	}
 	if h.Demoted {
@@ -142,6 +153,7 @@ func (r *Router) Process(pkt *packet.Packet, inIface int, now tvatime.Time) pack
 		r.Stats.Legacy++
 		pkt.Class = packet.ClassLegacy
 		r.trace(pkt, now)
+		r.verdict(pkt, now)
 		return pkt.Class
 	}
 	// Header mutation (appended pre-capabilities and path identifiers)
@@ -164,11 +176,45 @@ func (r *Router) Process(pkt *packet.Packet, inIface int, now tvatime.Time) pack
 			r.Stats.Demoted++
 			r.Demotions.Inc(reason)
 			pkt.Class = packet.ClassLegacy
+			if r.Spans != nil && pkt.TraceID != 0 {
+				sp := r.span(pkt, now, trace.EdgeDemote)
+				sp.Reason = reason
+				r.Spans.Record(sp)
+			}
 		}
 	}
 	pkt.Size += h.WireSize() - before
 	r.trace(pkt, now)
+	r.verdict(pkt, now)
 	return pkt.Class
+}
+
+// span builds the router-local flight-recorder span for pkt.
+func (r *Router) span(pkt *packet.Packet, now tvatime.Time, edge trace.Edge) trace.Span {
+	sp := trace.Span{
+		ID:     pkt.TraceID,
+		Time:   now,
+		Src:    uint32(pkt.Src),
+		Dst:    uint32(pkt.Dst),
+		Size:   uint32(pkt.Size),
+		Hop:    trace.NoHop,
+		Edge:   edge,
+		Class:  uint8(pkt.Class),
+		Router: r.cfg.ID,
+	}
+	if pkt.Hdr != nil {
+		sp.Kind = uint8(pkt.Hdr.Kind) + 1
+	}
+	return sp
+}
+
+// verdict emits the capability-check verdict span (the class the
+// packet leaves this router with).
+func (r *Router) verdict(pkt *packet.Packet, now tvatime.Time) {
+	if r.Spans == nil || pkt.TraceID == 0 {
+		return
+	}
+	r.Spans.Record(r.span(pkt, now, trace.EdgeVerdict))
 }
 
 // trace emits a classify event when a tracer is attached.
@@ -201,6 +247,21 @@ func (r *Router) stampRequest(pkt *packet.Packet, h *packet.CapHdr, inIface int,
 	if r.cfg.TrustBoundary && len(h.Request.PathIDs) < 255 {
 		pathid.Stamp(h, r.cfg.Tagger.ForInterface(inIface))
 	}
+	r.stampHop(h)
+}
+
+// stampHop appends this router's queue-wait report to a request that
+// opted into hop stamps (RequestHdr.WantHops). The destination echoes
+// the list in return info; tvaping prints the breakdown.
+func (r *Router) stampHop(h *packet.CapHdr) {
+	if !h.Request.WantHops || len(h.Request.HopWaits) >= 255 {
+		return
+	}
+	var wait uint32
+	if r.HopWait != nil {
+		wait = r.HopWait()
+	}
+	h.Request.HopWaits = append(h.Request.HopWaits, packet.HopStamp{Router: r.cfg.ID, WaitUs: wait})
 }
 
 // processRegular implements the regular/renewal arm of Fig. 6 and
@@ -291,6 +352,7 @@ func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface in
 		if r.cfg.TrustBoundary && len(h.Request.PathIDs) < 255 {
 			pathid.Stamp(h, r.cfg.Tagger.ForInterface(inIface))
 		}
+		r.stampHop(h)
 	}
 	if valid {
 		return true, telemetry.DropNone

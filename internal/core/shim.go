@@ -36,6 +36,13 @@ type ShimConfig struct {
 	// (grants, demotion notices) when no outbound traffic picked it up
 	// in the same event (default true). Pure receivers need it.
 	AutoReturn bool
+	// CollectHops marks outgoing requests with the WantHops wire flag,
+	// asking every capability router on the path to stamp its ID and
+	// current queue-wait estimate. The destination shim echoes the
+	// stamps in return info and LastHopReport exposes them — the data
+	// behind tvaping's per-hop breakdown. Off by default: stamps cost
+	// five wire bytes per hop.
+	CollectHops bool
 
 	// Reliability engine (active only when Shim.After is set): a
 	// request or renewal whose answer does not arrive within RetryRTO
@@ -136,10 +143,11 @@ type Shim struct {
 	// request stays lost until the upper layer resends.
 	After func(d tvatime.Duration, fn func())
 
-	sends     map[packet.Addr]*sendState
-	pending   map[packet.Addr]*packet.ReturnInfo
-	demotions map[packet.Addr]Demotion
-	retries   map[packet.Addr]*retryState
+	sends      map[packet.Addr]*sendState
+	pending    map[packet.Addr]*packet.ReturnInfo
+	demotions  map[packet.Addr]Demotion
+	retries    map[packet.Addr]*retryState
+	hopReports map[packet.Addr][]packet.HopStamp
 
 	Stats ShimStats
 }
@@ -171,15 +179,16 @@ type Demotion struct {
 // policy (nil means refuse everything inbound).
 func NewShim(addr packet.Addr, policy Policy, clock tvatime.Clock, rng *rand.Rand, cfg ShimConfig) *Shim {
 	return &Shim{
-		cfg:       cfg.withDefaults(),
-		addr:      addr,
-		clock:     clock,
-		rng:       rng,
-		policy:    policy,
-		sends:     make(map[packet.Addr]*sendState),
-		pending:   make(map[packet.Addr]*packet.ReturnInfo),
-		demotions: make(map[packet.Addr]Demotion),
-		retries:   make(map[packet.Addr]*retryState),
+		cfg:        cfg.withDefaults(),
+		addr:       addr,
+		clock:      clock,
+		rng:        rng,
+		policy:     policy,
+		sends:      make(map[packet.Addr]*sendState),
+		pending:    make(map[packet.Addr]*packet.ReturnInfo),
+		demotions:  make(map[packet.Addr]Demotion),
+		retries:    make(map[packet.Addr]*retryState),
+		hopReports: make(map[packet.Addr][]packet.HopStamp),
 	}
 }
 
@@ -199,6 +208,14 @@ func (s *Shim) HasCaps(dst packet.Addr) bool {
 func (s *Shim) LastDemotion(peer packet.Addr) (Demotion, bool) {
 	d, ok := s.demotions[peer]
 	return d, ok
+}
+
+// LastHopReport returns the most recent per-hop queue-wait stamps
+// echoed back from peer (collected by a CollectHops request on its way
+// there), ordered first hop to last. The slice is owned by the shim;
+// callers must not mutate it.
+func (s *Shim) LastHopReport(peer packet.Addr) []packet.HopStamp {
+	return s.hopReports[peer]
 }
 
 // Send wraps an upper-layer payload toward dst and transmits it. size
@@ -261,6 +278,12 @@ func (s *Shim) makeRequest(dst packet.Addr, h *packet.CapHdr, now tvatime.Time) 
 	}
 	if cap(h.Request.PathIDs) == 0 {
 		h.Request.PathIDs = make([]packet.PathID, 0, pathPreCaps)
+	}
+	if s.cfg.CollectHops {
+		h.Request.WantHops = true
+		if cap(h.Request.HopWaits) == 0 {
+			h.Request.HopWaits = make([]packet.HopStamp, 0, pathPreCaps)
+		}
 	}
 	s.Stats.RequestsSent++
 	if oa, ok := s.policy.(OutboundAware); ok {
@@ -354,6 +377,9 @@ func (s *Shim) fillGranted(dst packet.Addr, st *sendState, h *packet.CapHdr, siz
 		h.Kind = packet.KindRenewal
 		h.Caps = append(h.Caps[:0], st.caps...)
 		h.NKB, h.TSec = st.nkb, st.tsec
+		if s.cfg.CollectHops {
+			h.Request.WantHops = true
+		}
 		st.capsSent++
 		s.Stats.RenewalsSent++
 		if h.Proto != packet.ProtoControl {
@@ -417,6 +443,15 @@ func (s *Shim) Receive(pkt *packet.Packet) {
 		s.applyReturn(pkt.Src, h.Return, now)
 	}
 
+	// Echo hop stamps collected on the way here back to the sender
+	// (they describe the sender's forward path, which only the sender
+	// can act on). They ride the same pending return info as grants.
+	if len(h.Request.HopWaits) > 0 &&
+		(h.Kind == packet.KindRequest || h.Kind == packet.KindRenewal) {
+		ret := s.pendingFor(pkt.Src)
+		ret.Hops = append(ret.Hops[:0], h.Request.HopWaits...)
+	}
+
 	// Authorization decisions for requests and (valid, undemoted)
 	// renewals that carry fresh pre-capabilities. Pure control
 	// carriers never trigger authorization: answering them could
@@ -446,6 +481,10 @@ func (s *Shim) Receive(pkt *packet.Packet) {
 }
 
 func (s *Shim) applyReturn(src packet.Addr, ret *packet.ReturnInfo, now tvatime.Time) {
+	if len(ret.Hops) > 0 {
+		// Copy: ret aliases the decoded packet's scratch storage.
+		s.hopReports[src] = append(s.hopReports[src][:0], ret.Hops...)
+	}
 	if ret.Grant != nil {
 		if len(ret.Grant.Caps) == 0 {
 			// An empty capability list is an explicit refusal (§4.2).

@@ -181,6 +181,22 @@ type Config struct {
 	// (Result.Telemetry.Trace).
 	TraceEvents int
 
+	// SpanCapacity, if positive, attaches a span flight recorder
+	// (internal/trace) of that many retained spans to the whole
+	// simulation: every injected packet gets a trace ID and every
+	// lifecycle edge — send, verdict, enqueue, dequeue, transmit, drop,
+	// demotion, delivery — is recorded (Result.Telemetry.Spans).
+	// Emission is allocation-free, but tracing every edge costs a few
+	// stores per packet per hop.
+	SpanCapacity int
+
+	// DropStormPkts, if positive, arms the drop-storm detector: when
+	// the forward bottleneck's enqueue drops grow by at least this many
+	// packets within one detection window (MetricsInterval, or 100 ms
+	// if metrics are off), Telemetry.DropStorm is latched — tvasim uses
+	// it to dump the flight recorder automatically.
+	DropStormPkts int
+
 	Seed int64
 }
 

@@ -4,6 +4,8 @@
 package exp
 
 import (
+	"strconv"
+
 	"tva/internal/core"
 	"tva/internal/netsim"
 	"tva/internal/packet"
@@ -13,6 +15,7 @@ import (
 	"tva/internal/siff"
 	"tva/internal/tcp"
 	"tva/internal/telemetry"
+	"tva/internal/trace"
 	"tva/internal/tvatime"
 )
 
@@ -47,6 +50,7 @@ type builder struct {
 
 	hostEgs     []sched.Scheduler // host egress queues (silent-loss audit)
 	tracer      telemetry.Tracer  // nil unless cfg.TraceEvents > 0
+	spans       *trace.Recorder   // nil unless cfg.SpanCapacity > 0
 	finalSample func()            // end-of-run sampler snapshot
 }
 
@@ -111,6 +115,7 @@ func (b *builder) newRouterNode(name string, deployed bool) (*netsim.Node, *push
 			Tagger:        pathid.NewSeeded(uint64(b.cfg.Seed)*1315423911 + b.taggerSeed),
 		})
 		rtr.Tracer = b.tracer
+		rtr.Spans = b.spans
 		b.tvaRouters = append(b.tvaRouters, rtr)
 		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
 			if pkt.TTL == 0 {
@@ -195,6 +200,14 @@ func Run(cfg Config) *Result {
 		tel.Trace = tracer
 		b.tracer = tracer
 	}
+	// The span recorder must exist before any topology is built: Connect
+	// registers each interface as a hop at construction time.
+	if cfg.SpanCapacity > 0 {
+		rec := trace.NewRecorder(cfg.SpanCapacity)
+		sim.Spans = rec
+		tel.Spans = rec
+		b.spans = rec
+	}
 
 	// Routers (possibly only partially deployed, §8).
 	leftDeployed := cfg.Deployment != DeployNone
@@ -255,11 +268,13 @@ func Run(cfg Config) *Result {
 		}
 	}
 	b.instrumentDest(dest, &tel, tracer)
+	b.traceDelivery(dest.node)
 	attachRight(dest)
 
 	// Colluder: authorizes anything (§5.3).
 	colluder := newHost(sim, "colluder", ColluderAddr, &core.AllowAllPolicy{}, cfg)
 	colluder.onRaw = func(packet.Addr, int, bool) {} // flood sink
+	b.traceDelivery(colluder.node)
 	attachRight(colluder)
 
 	// In the request-flood scenario the paper assumes the destination
@@ -277,7 +292,8 @@ func Run(cfg Config) *Result {
 	for i := 0; i < cfg.NumUsers; i++ {
 		policy := core.NewClientPolicy()
 		policy.Window = cfg.Duration + 120*tvatime.Second
-		u := newHost(sim, "user", UserAddr(i), policy, cfg)
+		u := newHost(sim, "user"+strconv.Itoa(i), UserAddr(i), policy, cfg)
+		b.traceDelivery(u.node)
 		attachLeft(u)
 		startUser(sim, u, i, cfg, &transfers)
 		users = append(users, u)
@@ -289,6 +305,7 @@ func Run(cfg Config) *Result {
 	}
 
 	b.startSampler(&tel, lr)
+	b.watchDropStorm(&tel, lr)
 
 	sim.Run(tvatime.Time(cfg.Duration))
 	for _, stop := range b.stops {
@@ -377,10 +394,11 @@ func (b *builder) startAttacker(i int, attach func(*host)) {
 		return
 
 	case AttackLegacyFlood:
-		node := sim.NewNode("atk")
+		node := sim.NewNode("atk" + strconv.Itoa(i))
 		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, _ *netsim.Iface) {
 			packet.Release(pkt) // reverse traffic sink
 		})
+		b.traceDelivery(node)
 		h := &host{addr: addr, node: node}
 		attach(h)
 		flood(sim, start, stop, interval, func() {
@@ -393,10 +411,11 @@ func (b *builder) startAttacker(i int, attach func(*host)) {
 		})
 
 	case AttackRequestFlood:
-		node := sim.NewNode("atk")
+		node := sim.NewNode("atk" + strconv.Itoa(i))
 		node.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, _ *netsim.Iface) {
 			packet.Release(pkt) // reverse traffic sink
 		})
+		b.traceDelivery(node)
 		h := &host{addr: addr, node: node}
 		attach(h)
 		flood(sim, start, stop, interval, func() {
@@ -412,14 +431,16 @@ func (b *builder) startAttacker(i int, attach func(*host)) {
 		})
 
 	case AttackAuthorizedFlood:
-		h := newHost(sim, "atk", addr, core.RefuseAllPolicy{}, cfg)
+		h := newHost(sim, "atk"+strconv.Itoa(i), addr, core.RefuseAllPolicy{}, cfg)
 		h.onRaw = func(packet.Addr, int, bool) {}
+		b.traceDelivery(h.node)
 		attach(h)
 		b.floodWithCaps(h, ColluderAddr, start, stop, interval)
 
 	case AttackImpreciseAuth:
-		h := newHost(sim, "atk", addr, core.RefuseAllPolicy{}, cfg)
+		h := newHost(sim, "atk"+strconv.Itoa(i), addr, core.RefuseAllPolicy{}, cfg)
 		h.onRaw = func(packet.Addr, int, bool) {}
+		b.traceDelivery(h.node)
 		attach(h)
 		b.floodWithCaps(h, DestAddr, start, stop, interval)
 	}

@@ -10,6 +10,8 @@ import (
 	"tva/internal/packet"
 	"tva/internal/sched"
 	"tva/internal/telemetry"
+	"tva/internal/trace"
+	"tva/internal/tvatime"
 )
 
 // RunTelemetry aggregates one run's observability output.
@@ -55,6 +57,18 @@ type RunTelemetry struct {
 	// Trace holds the last Config.TraceEvents per-packet events at the
 	// bottleneck and destination; nil unless TraceEvents > 0.
 	Trace *telemetry.RingTracer
+
+	// Spans is the packet-lifecycle flight recorder: every injected
+	// packet's send, verdict, queue, transmit, drop, demotion, and
+	// delivery edges; nil unless Config.SpanCapacity > 0.
+	Spans *trace.Recorder
+
+	// DropStorm reports that the drop-storm detector fired: the forward
+	// bottleneck's enqueue drops grew by at least Config.DropStormPkts
+	// within one detection window. DropStormAt is the end of the first
+	// such window. tvasim dumps the flight recorder when this latches.
+	DropStorm   bool
+	DropStormAt tvatime.Time
 }
 
 // instrumentDest wraps the destination host's handler to record
@@ -79,6 +93,56 @@ func (b *builder) instrumentDest(dest *host, tel *RunTelemetry, tracer *telemetr
 		}
 		inner.Receive(pkt, in)
 	})
+}
+
+// traceDelivery wraps a host node's handler so every traced packet
+// terminating there emits the deliver span, closing its lifecycle
+// chain. A no-op without a recorder, so untraced runs keep the
+// original handler and its cost profile.
+func (b *builder) traceDelivery(n *netsim.Node) {
+	rec := b.spans
+	if rec == nil {
+		return
+	}
+	sim := b.sim
+	inner := n.Handler
+	n.Handler = netsim.HandlerFunc(func(pkt *packet.Packet, in *netsim.Iface) {
+		if pkt.TraceID != 0 {
+			sp := sim.SpanFor(pkt, trace.EdgeDeliver)
+			if in != nil {
+				sp.Hop = in.Hop
+			}
+			rec.Record(sp)
+		}
+		inner.Receive(pkt, in)
+	})
+}
+
+// watchDropStorm arms the drop-storm detector on the forward
+// bottleneck: each window it compares the enqueue-drop delta against
+// Config.DropStormPkts and latches tel.DropStorm on the first
+// crossing. The window is MetricsInterval when metrics are on, else
+// 100 ms.
+func (b *builder) watchDropStorm(tel *RunTelemetry, lr *netsim.Iface) {
+	if b.cfg.DropStormPkts <= 0 {
+		return
+	}
+	threshold := uint64(b.cfg.DropStormPkts)
+	window := b.cfg.MetricsInterval
+	if window <= 0 {
+		window = 100 * tvatime.Millisecond
+	}
+	sim := b.sim
+	var last uint64
+	stop := sim.Every(window, func() {
+		cur := lr.Stats.DroppedPkts
+		if !tel.DropStorm && cur-last >= threshold {
+			tel.DropStorm = true
+			tel.DropStormAt = sim.Now()
+		}
+		last = cur
+	})
+	b.stops = append(b.stops, stop)
 }
 
 // startSampler registers the gauge set and schedules periodic

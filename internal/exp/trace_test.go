@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"tva/internal/trace"
+	"tva/internal/tvatime"
+)
+
+func tracedConfig() Config {
+	return Config{
+		Scheme:       SchemeTVA,
+		Attack:       AttackRequestFlood,
+		NumUsers:     4,
+		NumAttackers: 6,
+		Duration:     4 * tvatime.Second,
+		Seed:         11,
+		SpanCapacity: 1 << 19,
+	}
+}
+
+// TestTracedRunCompleteChains runs a small request flood with the span
+// recorder attached and checks the causal chains reconstruct: every
+// chain starts at send (capacity is large enough that nothing was
+// overwritten), and both delivered and dropped outcomes appear with
+// their terminal edges in place.
+func TestTracedRunCompleteChains(t *testing.T) {
+	res := Run(tracedConfig())
+	rec := res.Telemetry.Spans
+	if rec == nil {
+		t.Fatal("SpanCapacity set but Telemetry.Spans is nil")
+	}
+	if rec.Overwritten() != 0 {
+		t.Fatalf("recorder overwrote %d spans; raise SpanCapacity so chain assertions hold", rec.Overwritten())
+	}
+	spans := rec.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	stats := trace.AnalyzeAll(spans)
+	var delivered, dropped int
+	for _, st := range stats {
+		switch st.Outcome {
+		case trace.ChainDelivered:
+			delivered++
+			if st.Send == trace.NoTime || st.End <= st.Send {
+				t.Fatalf("delivered chain %d has bad endpoints: send=%d end=%d", st.ID, st.Send, st.End)
+			}
+		case trace.ChainDropped:
+			dropped++
+			if st.DropTime == trace.NoTime {
+				t.Fatalf("dropped chain %d missing drop time", st.ID)
+			}
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("no delivered chains in a run with legitimate users")
+	}
+	if dropped == 0 {
+		t.Fatal("no dropped chains in a request flood")
+	}
+	// Every chain must begin with its send edge: chains are causal,
+	// not fragments.
+	for _, ch := range trace.Chains(spans) {
+		if ch.Spans[0].Edge != trace.EdgeSend {
+			t.Fatalf("chain %d starts with %s, want send", ch.ID, ch.Spans[0].Edge)
+		}
+	}
+}
+
+// TestTracedRunDeterministicDump runs the same seed twice and requires
+// byte-identical trace dumps — the determinism contract extended to
+// the flight recorder.
+func TestTracedRunDeterministicDump(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Run(tracedConfig()).Telemetry.Spans.WriteDump(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(tracedConfig()).Telemetry.Spans.WriteDump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("same-seed trace dumps differ: %d vs %d bytes", a.Len(), b.Len())
+	}
+}
+
+// TestTracingDoesNotPerturbOutcomes checks the observer effect is
+// zero: a traced run and an untraced run of the same seed produce the
+// same transfers and bottleneck counters.
+func TestTracingDoesNotPerturbOutcomes(t *testing.T) {
+	traced := Run(tracedConfig())
+	plain := tracedConfig()
+	plain.SpanCapacity = 0
+	base := Run(plain)
+
+	if got, want := traced.CompletionFraction(), base.CompletionFraction(); got != want {
+		t.Fatalf("completion fraction %v with tracing, %v without", got, want)
+	}
+	if traced.BottleneckDrops != base.BottleneckDrops {
+		t.Fatalf("bottleneck drops %d with tracing, %d without", traced.BottleneckDrops, base.BottleneckDrops)
+	}
+	if len(traced.Transfers) != len(base.Transfers) {
+		t.Fatalf("transfer count %d with tracing, %d without", len(traced.Transfers), len(base.Transfers))
+	}
+	for i := range base.Transfers {
+		if traced.Transfers[i] != base.Transfers[i] {
+			t.Fatalf("transfer %d differs: %+v vs %+v", i, traced.Transfers[i], base.Transfers[i])
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"tva/internal/packet"
 	"tva/internal/sched"
 	"tva/internal/telemetry"
+	"tva/internal/trace"
 	"tva/internal/tvatime"
 )
 
@@ -120,6 +121,11 @@ func (i *Iface) fault(pkt *packet.Packet, reason telemetry.DropReason) {
 		ev := i.traceEvent(pkt, telemetry.EventDrop)
 		ev.Reason = reason
 		i.Tracer.Record(ev)
+	}
+	if sim := i.Node.Sim; sim.Spans != nil && pkt.TraceID != 0 {
+		sp := i.span(pkt, trace.EdgeDrop)
+		sp.Reason = reason
+		sim.Spans.Record(sp)
 	}
 	packet.Release(pkt)
 }

@@ -17,6 +17,7 @@ import (
 	"tva/internal/packet"
 	"tva/internal/sched"
 	"tva/internal/telemetry"
+	"tva/internal/trace"
 	"tva/internal/tvatime"
 )
 
@@ -27,6 +28,13 @@ type Sim struct {
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
+
+	// Spans, if set, is the flight recorder every lifecycle edge in
+	// this simulation reports to. Attach it before building the
+	// topology: Connect registers each interface as a trace hop, and
+	// Node.Send assigns trace IDs to injected packets. Nil disables
+	// tracing (a single pointer check per edge).
+	Spans *trace.Recorder
 }
 
 // New returns a simulator with a deterministic RNG.
@@ -198,13 +206,44 @@ func (n *Node) Route(dst packet.Addr) *Iface {
 // Send routes and transmits a locally originated or forwarded packet.
 // Unroutable packets are silently dropped (and returned to the packet
 // pool if pooled).
+//
+// With a flight recorder attached, Send is where a packet enters the
+// traced world: the first routable Send assigns its monotonic trace ID
+// and emits the send edge. Forwarded packets already carry an ID and
+// get no second send edge.
 func (n *Node) Send(pkt *packet.Packet) {
 	out := n.Route(pkt.Dst)
 	if out == nil {
 		packet.Release(pkt)
 		return
 	}
+	if rec := n.Sim.Spans; rec != nil && pkt.TraceID == 0 {
+		pkt.TraceID = rec.NextID()
+		sp := n.Sim.SpanFor(pkt, trace.EdgeSend)
+		sp.Hop = out.Hop
+		rec.Record(sp)
+	}
 	out.Send(pkt)
+}
+
+// SpanFor builds the base span for pkt at the current simulation time,
+// with Hop set to trace.NoHop; callers fill in location fields and
+// pass it to Spans.Record.
+func (s *Sim) SpanFor(pkt *packet.Packet, edge trace.Edge) trace.Span {
+	sp := trace.Span{
+		ID:    pkt.TraceID,
+		Time:  s.now,
+		Src:   uint32(pkt.Src),
+		Dst:   uint32(pkt.Dst),
+		Size:  uint32(pkt.Size),
+		Hop:   trace.NoHop,
+		Edge:  edge,
+		Class: uint8(pkt.Class),
+	}
+	if pkt.Hdr != nil {
+		sp.Kind = uint8(pkt.Hdr.Kind) + 1
+	}
+	return sp
 }
 
 // String implements fmt.Stringer.
@@ -253,6 +292,11 @@ type Iface struct {
 	Tracer  telemetry.Tracer
 	TraceID int
 
+	// Hop is this interface's identity in the span flight recorder
+	// (registered by Connect when Sim.Spans is attached), or
+	// trace.NoHop when the simulation is untraced.
+	Hop uint16
+
 	// FaultDrops attributes every fault loss on this interface —
 	// link-loss, link-down, router-restart — by reason (impair.go).
 	FaultDrops telemetry.DropCounters
@@ -273,11 +317,15 @@ func Connect(a, b *Node, bps int64, delay tvatime.Duration, schedAB, schedBA sch
 	if schedBA == nil {
 		schedBA = sched.NewDropTail(0)
 	}
-	ia := &Iface{Node: a, Bps: bps, Delay: delay, Sched: schedAB, Index: len(a.ifaces)}
-	ib := &Iface{Node: b, Bps: bps, Delay: delay, Sched: schedBA, Index: len(b.ifaces)}
+	ia := &Iface{Node: a, Bps: bps, Delay: delay, Sched: schedAB, Index: len(a.ifaces), Hop: trace.NoHop}
+	ib := &Iface{Node: b, Bps: bps, Delay: delay, Sched: schedBA, Index: len(b.ifaces), Hop: trace.NoHop}
 	ia.Peer, ib.Peer = ib, ia
 	a.ifaces = append(a.ifaces, ia)
 	b.ifaces = append(b.ifaces, ib)
+	if rec := a.Sim.Spans; rec != nil {
+		ia.Hop = rec.RegisterHop(ia.String())
+		ib.Hop = rec.RegisterHop(ib.String())
+	}
 	return ia, ib
 }
 
@@ -292,12 +340,19 @@ func (i *Iface) Send(pkt *packet.Packet) {
 		if i.OnDrop != nil {
 			i.OnDrop(pkt)
 		}
+		var reason telemetry.DropReason
+		if rc, ok := i.Sched.(sched.ReasonCounter); ok {
+			reason = rc.LastDropReason()
+		}
 		if i.Tracer != nil {
 			ev := i.traceEvent(pkt, telemetry.EventDrop)
-			if rc, ok := i.Sched.(sched.ReasonCounter); ok {
-				ev.Reason = rc.LastDropReason()
-			}
+			ev.Reason = reason
 			i.Tracer.Record(ev)
+		}
+		if sim.Spans != nil && pkt.TraceID != 0 {
+			sp := i.span(pkt, trace.EdgeDrop)
+			sp.Reason = reason
+			sim.Spans.Record(sp)
 		}
 		packet.Release(pkt)
 		return
@@ -307,7 +362,24 @@ func (i *Iface) Send(pkt *packet.Packet) {
 	if i.Tracer != nil {
 		i.Tracer.Record(i.traceEvent(pkt, telemetry.EventEnqueue))
 	}
+	if sim.Spans != nil && pkt.TraceID != 0 {
+		sim.Spans.Record(i.span(pkt, trace.EdgeEnqueue))
+	}
 	i.kick()
+}
+
+// span builds the flight-recorder span for pkt on this interface.
+// Request-class enqueues carry the packet's most recent path id, the
+// key of the fair queue it joined.
+func (i *Iface) span(pkt *packet.Packet, edge trace.Edge) trace.Span {
+	sp := i.Node.Sim.SpanFor(pkt, edge)
+	sp.Hop = i.Hop
+	if pkt.Class == packet.ClassRequest && pkt.Hdr != nil {
+		if ids := pkt.Hdr.Request.PathIDs; len(ids) > 0 {
+			sp.PathID = uint16(ids[len(ids)-1])
+		}
+	}
+	return sp
 }
 
 // traceEvent builds the per-packet event for this interface.
@@ -368,9 +440,15 @@ func (i *Iface) txNext() {
 	if i.Tracer != nil {
 		i.Tracer.Record(i.traceEvent(pkt, telemetry.EventDequeue))
 	}
+	if sim.Spans != nil && pkt.TraceID != 0 {
+		sim.Spans.Record(i.span(pkt, trace.EdgeDequeue))
+	}
 	sim.After(i.txTime(pkt.Size), func() {
 		i.Stats.SentPkts++
 		i.Stats.SentBytes += uint64(pkt.Size)
+		if sim.Spans != nil && pkt.TraceID != 0 {
+			sim.Spans.Record(i.span(pkt, trace.EdgeTx))
+		}
 		i.launch(pkt)
 		i.txNext()
 	})

@@ -192,6 +192,22 @@ func (h *Host) LastDemotion(peer packet.Addr) (core.Demotion, bool) {
 	}
 }
 
+// HopReport returns the most recent per-hop queue-wait report for the
+// path toward peer: one (router id, wait µs) stamp per capability
+// router the request traversed, carried back in return information.
+// Empty unless the shim was configured with CollectHops.
+func (h *Host) HopReport(peer packet.Addr) []packet.HopStamp {
+	res := make(chan []packet.HopStamp, 1)
+	select {
+	case h.ops <- func() {
+		res <- append([]packet.HopStamp(nil), h.shim.LastHopReport(peer)...)
+	}:
+		return <-res
+	case <-h.closed:
+		return nil
+	}
+}
+
 // Stats snapshots the shim's counters.
 func (h *Host) Stats() core.ShimStats {
 	res := make(chan core.ShimStats, 1)

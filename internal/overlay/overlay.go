@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tva/internal/core"
@@ -60,6 +62,11 @@ type Router struct {
 	wg      sync.WaitGroup
 	started time.Time
 
+	// waitEWMA is the router-wide EWMA of output-queue wait in
+	// microseconds, updated by the port goroutines and read (via
+	// core.Router.HopWait) when stamping hop reports into requests.
+	waitEWMA atomic.Uint32
+
 	// Stats (owned by the receive goroutine).
 	Received, Forwarded, Unroutable, Malformed uint64
 }
@@ -99,9 +106,33 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		closed:  make(chan struct{}),
 		started: time.Now(),
 	}
+	// Hop-wait attribution: requests that opt in (WantHops) get stamped
+	// with this router's current queue-wait estimate, which travels back
+	// to the sender in return information (tvaping shows it per hop).
+	r.core.HopWait = r.waitEWMA.Load
 	r.wg.Add(1)
 	go r.receiveLoop()
 	return r, nil
+}
+
+// QueueWaitMicros returns the router's EWMA output-queue wait in
+// microseconds (the value stamped into hop reports).
+func (r *Router) QueueWaitMicros() uint32 { return r.waitEWMA.Load() }
+
+// observeWait folds one packet's measured queue wait into the EWMA
+// (gain 1/8, matching TCP's RTT smoothing).
+func (r *Router) observeWait(d time.Duration) {
+	us := uint32(d / time.Microsecond)
+	for {
+		old := r.waitEWMA.Load()
+		next := old - old/8 + us/8
+		if old == 0 {
+			next = us
+		}
+		if r.waitEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // Addr returns the bound UDP address.
@@ -186,6 +217,53 @@ func (r *Router) SchedDrops() telemetry.DropCounters {
 	return total
 }
 
+// PortGauges is one neighbour link's scheduler occupancy snapshot.
+type PortGauges struct {
+	Neighbor      string
+	RequestPkts   int
+	RegularPkts   int
+	LegacyPkts    int
+	RegularQueues int
+	TokenBytes    float64
+	Sent, Dropped uint64
+}
+
+// Gauges snapshots every port's scheduler occupancy, sorted by
+// neighbour address for stable output. Diagnostics only — it takes
+// each port's lock briefly.
+func (r *Router) Gauges() []PortGauges {
+	now := r.clock.Now()
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.ports))
+	for k := range r.ports {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ports := make([]*port, len(keys))
+	for i, k := range keys {
+		ports[i] = r.ports[k]
+	}
+	r.mu.Unlock()
+
+	out := make([]PortGauges, len(ports))
+	for i, p := range ports {
+		p.mu.Lock()
+		g := PortGauges{Neighbor: keys[i], Sent: p.Sent, Dropped: p.Dropped}
+		if tva, ok := p.q.(*sched.TVA); ok {
+			g.RequestPkts = tva.RequestBacklog()
+			g.RegularPkts = tva.RegularBacklog()
+			g.LegacyPkts = tva.LegacyBacklog()
+			g.RegularQueues = tva.RegularQueues()
+			g.TokenBytes = tva.TokenLevel(now)
+		} else {
+			g.RegularPkts = p.q.Len()
+		}
+		p.mu.Unlock()
+		out[i] = g
+	}
+	return out
+}
+
 func (r *Router) route(dst packet.Addr) *port {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -260,6 +338,7 @@ func (r *Router) receiveLoop() {
 }
 
 func (p *port) enqueue(pkt *packet.Packet, now tvatime.Time) {
+	pkt.EnqueuedAt = now
 	p.mu.Lock()
 	if !p.q.Enqueue(pkt, now) {
 		p.Dropped++
@@ -309,6 +388,11 @@ func (r *Router) portLoop(p *port) {
 		}
 		p.mu.Unlock()
 
+		if pkt.EnqueuedAt > 0 {
+			if w := r.clock.Now().Sub(pkt.EnqueuedAt); w >= 0 {
+				r.observeWait(w)
+			}
+		}
 		data, err := pkt.Marshal(buf[:0])
 		packet.Release(pkt)
 		if err != nil {

@@ -112,6 +112,16 @@ const (
 	NonceMask = uint64(1)<<48 - 1
 )
 
+// HopStamp is one router's queue-wait report: the router's ID and its
+// current output-queue wait estimate in microseconds. Routers append
+// one per hop to requests that opt in (RequestHdr.WantHops), and the
+// destination echoes the list in return info, giving the sender a
+// per-hop latency breakdown of the forward path (tvaping prints it).
+type HopStamp struct {
+	Router uint8
+	WaitUs uint32
+}
+
 // RequestHdr is the variable part of a request packet: the path-id and
 // pre-capability lists routers fill in on the way to the destination.
 // Fig. 5 interleaves (path-id, blank capability) pairs; we keep two
@@ -120,6 +130,13 @@ const (
 type RequestHdr struct {
 	PathIDs []PathID
 	PreCaps []uint64
+
+	// WantHops asks path routers to stamp HopStamps alongside their
+	// pre-capabilities. It rides the top bit of the path-id count byte,
+	// so requests that do not opt in are wire-identical to the pre-hop
+	// format (the simulator's byte accounting is unchanged).
+	WantHops bool
+	HopWaits []HopStamp
 }
 
 // Grant is a destination's authorization: the right to send N bytes
@@ -145,6 +162,9 @@ type ReturnInfo struct {
 	DemoteReason uint8
 	DemoteRouter uint8
 	Grant        *Grant
+	// Hops echoes the hop stamps collected by a WantHops request back
+	// to its sender (empty when the request carried none).
+	Hops []HopStamp
 }
 
 // CapHdr is the TVA shim header carried by all non-legacy packets.
@@ -181,8 +201,10 @@ type CapHdr struct {
 	// Caps capacity) instead of allocating per packet, the same idiom
 	// as the packet-owned scratch header itself. They are valid only
 	// until the next decode into this header; Clone detaches them.
+	// scratchHops is the same treatment for the echoed hop-stamp list.
 	scratchRet   ReturnInfo
 	scratchGrant Grant
+	scratchHops  []HopStamp
 }
 
 // Packet is one packet in flight. Size is the total wire size in bytes
@@ -214,6 +236,13 @@ type Packet struct {
 	SentAt     tvatime.Time
 	EnqueuedAt tvatime.Time
 
+	// TraceID is the packet's flight-recorder identity: assigned (from
+	// a monotonic counter) the first time the packet is injected into a
+	// traced simulation, 0 when untraced. Clones (impairment
+	// duplication) share their original's ID. Not on the wire; wiped by
+	// the pool reset like every other field.
+	TraceID uint64
+
 	// scratch is the packet-owned reusable shim header behind NewHdr
 	// and UnmarshalReuse; its slice capacity survives resets so the
 	// hot path does not reallocate per packet. pooled marks packets
@@ -244,13 +273,13 @@ func (h *CapHdr) WireSize() int {
 	}
 	switch h.Kind {
 	case KindRequest:
-		n += 2 + 2*len(h.Request.PathIDs) + 8*len(h.Request.PreCaps)
+		n += requestWireSize(&h.Request)
 	case KindNonceOnly:
 		n += 6 // 48-bit nonce
 	case KindRegular, KindRenewal:
 		n += 6 + 2 + 2 + 8*len(h.Caps) // nonce, counts, N|T, caps
 		if h.Kind == KindRenewal {
-			n += 2 + 2*len(h.Request.PathIDs) + 8*len(h.Request.PreCaps)
+			n += requestWireSize(&h.Request)
 		}
 	}
 	if h.Return != nil {
@@ -261,6 +290,17 @@ func (h *CapHdr) WireSize() int {
 		if h.Return.Grant != nil {
 			n += 1 + 2 + 8*len(h.Return.Grant.Caps) // count, N|T, caps
 		}
+		if len(h.Return.Hops) > 0 {
+			n += 1 + 5*len(h.Return.Hops) // count, (router, wait_us) stamps
+		}
+	}
+	return n
+}
+
+func requestWireSize(r *RequestHdr) int {
+	n := 2 + 2*len(r.PathIDs) + 8*len(r.PreCaps)
+	if r.WantHops {
+		n += 1 + 5*len(r.HopWaits) // count, (router, wait_us) stamps
 	}
 	return n
 }
@@ -288,6 +328,8 @@ func (h *CapHdr) Reset() {
 	h.Proto = 0
 	h.Request.PathIDs = h.Request.PathIDs[:0]
 	h.Request.PreCaps = h.Request.PreCaps[:0]
+	h.Request.WantHops = false
+	h.Request.HopWaits = h.Request.HopWaits[:0]
 	h.Nonce = 0
 	h.NKB = 0
 	h.TSec = 0
@@ -316,8 +358,10 @@ func (h *CapHdr) Clone() *CapHdr {
 	// h's backing arrays, which the next decode into h overwrites.
 	g.scratchRet = ReturnInfo{}
 	g.scratchGrant = Grant{}
+	g.scratchHops = nil
 	g.Request.PathIDs = append([]PathID(nil), h.Request.PathIDs...)
 	g.Request.PreCaps = append([]uint64(nil), h.Request.PreCaps...)
+	g.Request.HopWaits = append([]HopStamp(nil), h.Request.HopWaits...)
 	g.Caps = append([]uint64(nil), h.Caps...)
 	if h.Return != nil {
 		r := *h.Return
@@ -326,6 +370,7 @@ func (h *CapHdr) Clone() *CapHdr {
 			gr.Caps = append([]uint64(nil), h.Return.Grant.Caps...)
 			r.Grant = &gr
 		}
+		r.Hops = append([]HopStamp(nil), h.Return.Hops...)
 		g.Return = &r
 	}
 	return &g

@@ -29,7 +29,14 @@ const (
 const (
 	returnDemotion = 0x01
 	returnGrant    = 0x02
+	returnHops     = 0x04
 )
+
+// hopsFlag is the top bit of the request path-id count byte: set when
+// the request carries a hop-stamp section (RequestHdr.WantHops). The
+// path-id count is therefore capped at 127, far above any real path
+// length.
+const hopsFlag = 0x80
 
 // Wire format errors.
 var (
@@ -127,6 +134,9 @@ func (h *CapHdr) marshal(buf []byte) ([]byte, error) {
 		if h.Return.Grant != nil {
 			rt |= returnGrant
 		}
+		if len(h.Return.Hops) > 0 {
+			rt |= returnHops
+		}
 		buf = append(buf, rt)
 		if h.Return.DemotionNotice {
 			buf = append(buf, h.Return.DemoteReason, h.Return.DemoteRouter)
@@ -141,20 +151,48 @@ func (h *CapHdr) marshal(buf []byte) ([]byte, error) {
 				buf = binary.BigEndian.AppendUint64(buf, c)
 			}
 		}
+		if len(h.Return.Hops) > 0 {
+			var err error
+			if buf, err = marshalHops(buf, h.Return.Hops); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return buf, nil
 }
 
 func marshalRequest(buf []byte, r *RequestHdr) ([]byte, error) {
-	if len(r.PathIDs) > 255 || len(r.PreCaps) > MaxCaps {
+	if len(r.PathIDs) > 127 || len(r.PreCaps) > MaxCaps {
 		return nil, ErrTooMany
 	}
-	buf = append(buf, byte(len(r.PathIDs)), byte(len(r.PreCaps)))
+	b0 := byte(len(r.PathIDs))
+	if r.WantHops {
+		b0 |= hopsFlag
+	}
+	buf = append(buf, b0, byte(len(r.PreCaps)))
 	for _, id := range r.PathIDs {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(id))
 	}
 	for _, c := range r.PreCaps {
 		buf = binary.BigEndian.AppendUint64(buf, c)
+	}
+	if r.WantHops {
+		var err error
+		if buf, err = marshalHops(buf, r.HopWaits); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func marshalHops(buf []byte, hops []HopStamp) ([]byte, error) {
+	if len(hops) > 255 {
+		return nil, ErrTooMany
+	}
+	buf = append(buf, byte(len(hops)))
+	for _, h := range hops {
+		buf = append(buf, h.Router)
+		buf = binary.BigEndian.AppendUint32(buf, h.WaitUs)
 	}
 	return buf, nil
 }
@@ -321,6 +359,12 @@ func (h *CapHdr) unmarshal(data []byte) (int, error) {
 			}
 			ret.Grant = g
 		}
+		if rt&returnHops != 0 {
+			if h.scratchHops, off, err = readHops(h.scratchHops, data, off); err != nil {
+				return 0, err
+			}
+			ret.Hops = h.scratchHops
+		}
 		h.Return = ret
 	}
 	return off, nil
@@ -330,7 +374,9 @@ func unmarshalRequest(data []byte, off int, r *RequestHdr) (int, error) {
 	if len(data) < off+2 {
 		return 0, ErrTruncated
 	}
-	nids, ncaps := int(data[off]), int(data[off+1])
+	b0, ncaps := data[off], int(data[off+1])
+	nids := int(b0 &^ hopsFlag)
+	r.WantHops = b0&hopsFlag != 0
 	off += 2
 	if len(data) < off+2*nids+8*ncaps {
 		return 0, ErrTruncated
@@ -343,8 +389,35 @@ func unmarshalRequest(data []byte, off int, r *RequestHdr) (int, error) {
 		}
 	}
 	var err error
-	r.PreCaps, off, err = readCaps(r.PreCaps, data, off, ncaps)
+	if r.PreCaps, off, err = readCaps(r.PreCaps, data, off, ncaps); err != nil {
+		return 0, err
+	}
+	if r.WantHops {
+		r.HopWaits, off, err = readHops(r.HopWaits, data, off)
+	}
 	return off, err
+}
+
+// readHops decodes a counted hop-stamp list into dst's backing array,
+// keeping capacity across decodes.
+func readHops(dst []HopStamp, data []byte, off int) ([]HopStamp, int, error) {
+	if len(data) < off+1 {
+		return nil, 0, ErrTruncated
+	}
+	n := int(data[off])
+	off++
+	if len(data) < off+5*n {
+		return nil, 0, ErrTruncated
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, HopStamp{
+			Router: data[off],
+			WaitUs: binary.BigEndian.Uint32(data[off+1 : off+5]),
+		})
+		off += 5
+	}
+	return dst, off, nil
 }
 
 func readNonce(data []byte, off int) (uint64, int, error) {

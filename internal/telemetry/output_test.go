@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tva/internal/tvatime"
+)
+
+// TestSamplerWriteCSV pins the exact CSV shape: header of t_sec plus
+// gauge names in registration order, one row per sample, integer gauge
+// values without a decimal point, times with fixed six-digit precision.
+func TestSamplerWriteCSV(t *testing.T) {
+	s := NewSampler(8)
+	var a, b float64
+	s.AddGauge("backlog_pkts", func() float64 { return a })
+	s.AddGauge("token_bytes", func() float64 { return b })
+
+	a, b = 3, 1562.5
+	s.Sample(tvatime.Time(250 * tvatime.Millisecond))
+	a, b = 0, 0
+	s.Sample(tvatime.Time(500 * tvatime.Millisecond))
+
+	var buf strings.Builder
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_sec,backlog_pkts,token_bytes\n" +
+		"0.250000,3,1562.5\n" +
+		"0.500000,0,0\n"
+	if buf.String() != want {
+		t.Fatalf("CSV mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestSamplerWriteJSON pins the exact hand-rendered JSON layout.
+func TestSamplerWriteJSON(t *testing.T) {
+	s := NewSampler(8)
+	v := 7.0
+	s.AddGauge("queued", func() float64 { return v })
+	s.Sample(tvatime.Time(1 * tvatime.Second))
+	v = 2.25
+	s.Sample(tvatime.Time(2 * tvatime.Second))
+
+	var buf strings.Builder
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"columns":["t_sec","queued"],` + "\n" +
+		` "rows":[` + "\n" +
+		"  [1.000000,7],\n" +
+		"  [2.000000,2.25]\n" +
+		" ]}\n"
+	if buf.String() != want {
+		t.Fatalf("JSON mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestSamplerWraparound fills the ring past capacity and checks that
+// both Row and the writers keep only the newest rows, oldest first.
+func TestSamplerWraparound(t *testing.T) {
+	s := NewSampler(3)
+	var v float64
+	s.AddGauge("v", func() float64 { return v })
+	for i := 1; i <= 5; i++ {
+		v = float64(i * 10)
+		s.Sample(tvatime.Time(i) * tvatime.Time(tvatime.Second))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for i, want := range []float64{30, 40, 50} {
+		tm, row := s.Row(i)
+		if row[0] != want {
+			t.Fatalf("Row(%d) = %v, want %v", i, row[0], want)
+		}
+		if tm != tvatime.Time(i+3)*tvatime.Time(tvatime.Second) {
+			t.Fatalf("Row(%d) time = %v", i, tm)
+		}
+	}
+	var buf strings.Builder
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_sec,v\n3.000000,30\n4.000000,40\n5.000000,50\n"
+	if buf.String() != want {
+		t.Fatalf("wraparound CSV:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestSamplerAddGaugeAfterSamplePanics(t *testing.T) {
+	s := NewSampler(2)
+	s.AddGauge("x", func() float64 { return 0 })
+	s.Sample(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddGauge after Sample did not panic")
+		}
+	}()
+	s.AddGauge("y", func() float64 { return 0 })
+}
+
+// TestRingTracerWriteTextWraparound overflows the ring and checks that
+// WriteText emits the surviving events oldest first, with the drop
+// reason appended only on drop lines.
+func TestRingTracerWriteTextWraparound(t *testing.T) {
+	tr := NewRingTracer(3)
+	for i := 0; i < 5; i++ {
+		ev := Event{
+			Time:   tvatime.Time(i) * tvatime.Time(tvatime.Millisecond),
+			Kind:   EventKind(i % 5),
+			Router: i,
+			Src:    100 + uint32(i),
+			Dst:    200,
+			Class:  2,
+			Size:   1000 + i,
+		}
+		if ev.Kind == EventDrop {
+			ev.Reason = DropInboxOverflow
+		}
+		tr.Record(ev)
+	}
+	if tr.Len() != 3 || tr.Total() != 5 {
+		t.Fatalf("Len=%d Total=%d, want 3/5", tr.Len(), tr.Total())
+	}
+
+	var buf strings.Builder
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("0.002000 %-8s router=2 src=102 dst=200 class=2 size=1002\n", EventDequeue) +
+		fmt.Sprintf("0.003000 %-8s router=3 src=103 dst=200 class=2 size=1003 reason=%s\n", EventDrop, DropInboxOverflow) +
+		fmt.Sprintf("0.004000 %-8s router=4 src=104 dst=200 class=2 size=1004\n", EventDeliver)
+	if buf.String() != want {
+		t.Fatalf("WriteText mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestRingTracerEventBounds checks the oldest-first indexing before
+// and after overflow.
+func TestRingTracerEventBounds(t *testing.T) {
+	tr := NewRingTracer(2)
+	tr.Record(Event{Router: 1})
+	if got := tr.Event(0).Router; got != 1 {
+		t.Fatalf("Event(0).Router = %d, want 1", got)
+	}
+	tr.Record(Event{Router: 2})
+	tr.Record(Event{Router: 3})
+	if tr.Event(0).Router != 2 || tr.Event(1).Router != 3 {
+		t.Fatal("post-overflow order wrong: want oldest=2, newest=3")
+	}
+	if tr.Event(-1) != (Event{}) || tr.Event(2) != (Event{}) {
+		t.Fatal("out-of-range Event should return zero value")
+	}
+}

@@ -1,0 +1,301 @@
+// Offline analysis over recorded spans: chain reconstruction (all
+// spans of one trace ID in causal order), per-hop latency attribution
+// (queue wait vs service time vs propagation), and drop forensics
+// (who was sharing the queue when a packet died). Everything here
+// allocates freely — it runs on dumps, never on the data path.
+package trace
+
+import (
+	"sort"
+
+	"tva/internal/telemetry"
+	"tva/internal/tvatime"
+)
+
+// Chain is every retained span of one trace ID, in causal (Seq) order.
+type Chain struct {
+	ID    uint64
+	Spans []Span
+}
+
+// Chains groups spans by trace ID. Input order does not matter; each
+// chain comes out Seq-sorted and chains are ordered by ID. Chains that
+// lost their head to ring wraparound are still returned — the caller
+// can detect truncation by a missing EdgeSend.
+func Chains(spans []Span) []Chain {
+	byID := make(map[uint64][]Span)
+	for _, sp := range spans {
+		byID[sp.ID] = append(byID[sp.ID], sp)
+	}
+	out := make([]Chain, 0, len(byID))
+	for id, sps := range byID {
+		sort.Slice(sps, func(i, j int) bool { return sps[i].Seq < sps[j].Seq })
+		out = append(out, Chain{ID: id, Spans: sps})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NoTime marks a lifecycle edge that was not observed for a visit.
+const NoTime = tvatime.Time(-1)
+
+// HopVisit is one traversal of one hop, decomposed into the queue wait
+// (Dequeue−Enqueue) and service time (Tx−Dequeue). Unobserved edges
+// are NoTime and the corresponding durations negative.
+type HopVisit struct {
+	Hop     uint16
+	Class   uint8
+	PathID  uint16
+	Enqueue tvatime.Time
+	Dequeue tvatime.Time
+	Tx      tvatime.Time
+}
+
+// Wait is the time spent queued at this hop (negative if unobserved).
+func (v HopVisit) Wait() tvatime.Duration {
+	if v.Enqueue == NoTime || v.Dequeue == NoTime {
+		return -1
+	}
+	return v.Dequeue.Sub(v.Enqueue)
+}
+
+// Service is the transmission (serialization) time at this hop
+// (negative if unobserved).
+func (v HopVisit) Service() tvatime.Duration {
+	if v.Dequeue == NoTime || v.Tx == NoTime {
+		return -1
+	}
+	return v.Tx.Sub(v.Dequeue)
+}
+
+// Outcome classifies how a chain ended.
+type Outcome uint8
+
+// Chain outcomes.
+const (
+	// ChainInFlight: neither a drop nor a delivery was recorded (still
+	// queued at end of run, or edges lost to wraparound).
+	ChainInFlight Outcome = iota
+	// ChainDelivered: the packet reached its destination host.
+	ChainDelivered
+	// ChainDropped: the packet died in the network.
+	ChainDropped
+)
+
+// String returns the stable outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case ChainDelivered:
+		return "delivered"
+	case ChainDropped:
+		return "dropped"
+	}
+	return "in-flight"
+}
+
+// ChainStats is one chain decomposed for latency attribution.
+type ChainStats struct {
+	ID       uint64
+	Src, Dst uint32
+	Size     uint32
+	Class    uint8 // class at the last observed edge (post-demotion)
+	Outcome  Outcome
+
+	// Send is the injection time (NoTime if the send span was lost to
+	// wraparound); End is the delivery or drop time, else the last
+	// observed edge's time.
+	Send, End tvatime.Time
+
+	// Drop attribution (valid when Outcome == ChainDropped).
+	DropReason telemetry.DropReason
+	DropHop    uint16
+	DropTime   tvatime.Time
+
+	// Demotions this packet suffered (router IDs, in order).
+	DemotedBy []uint8
+
+	// Visits are the hop traversals in path order.
+	Visits []HopVisit
+}
+
+// Total is end-to-end elapsed time (negative if the send edge is
+// missing).
+func (c *ChainStats) Total() tvatime.Duration {
+	if c.Send == NoTime {
+		return -1
+	}
+	return c.End.Sub(c.Send)
+}
+
+// QueueWait sums the observed queue waits across all visits.
+func (c *ChainStats) QueueWait() tvatime.Duration {
+	var sum tvatime.Duration
+	for _, v := range c.Visits {
+		if w := v.Wait(); w > 0 {
+			sum += w
+		}
+	}
+	return sum
+}
+
+// Bottleneck returns the visit with the largest queue wait, or a
+// zero-wait visit at NoHop when nothing was observed.
+func (c *ChainStats) Bottleneck() (hop uint16, wait tvatime.Duration) {
+	hop = NoHop
+	for _, v := range c.Visits {
+		if w := v.Wait(); w > wait {
+			hop, wait = v.Hop, w
+		}
+	}
+	return hop, wait
+}
+
+// Analyze decomposes one chain into per-hop visits and an outcome.
+func Analyze(ch Chain) ChainStats {
+	st := ChainStats{ID: ch.ID, Send: NoTime, End: NoTime, DropHop: NoHop}
+	visitAt := make(map[uint16]int) // hop -> open visit index
+	for _, sp := range ch.Spans {
+		st.Src, st.Dst, st.Size, st.Class = sp.Src, sp.Dst, sp.Size, sp.Class
+		st.End = sp.Time
+		switch sp.Edge {
+		case EdgeSend:
+			st.Send = sp.Time
+		case EdgeDemote:
+			st.DemotedBy = append(st.DemotedBy, sp.Router)
+		case EdgeEnqueue:
+			visitAt[sp.Hop] = len(st.Visits)
+			st.Visits = append(st.Visits, HopVisit{
+				Hop: sp.Hop, Class: sp.Class, PathID: sp.PathID,
+				Enqueue: sp.Time, Dequeue: NoTime, Tx: NoTime,
+			})
+		case EdgeDequeue:
+			if i, ok := visitAt[sp.Hop]; ok {
+				st.Visits[i].Dequeue = sp.Time
+			}
+		case EdgeTx:
+			if i, ok := visitAt[sp.Hop]; ok {
+				st.Visits[i].Tx = sp.Time
+				delete(visitAt, sp.Hop)
+			}
+		case EdgeDrop:
+			st.Outcome = ChainDropped
+			st.DropReason = sp.Reason
+			st.DropHop = sp.Hop
+			st.DropTime = sp.Time
+		case EdgeDeliver:
+			st.Outcome = ChainDelivered
+		}
+	}
+	return st
+}
+
+// AnalyzeAll maps Analyze over Chains(spans).
+func AnalyzeAll(spans []Span) []ChainStats {
+	chains := Chains(spans)
+	out := make([]ChainStats, len(chains))
+	for i, ch := range chains {
+		out[i] = Analyze(ch)
+	}
+	return out
+}
+
+// QueueSharers returns the trace IDs resident in hop's queue at time t
+// (enqueued at or before t and not yet dequeued or dropped there),
+// excluding excludeID — the "what was sharing its queue" half of drop
+// forensics. IDs come back sorted.
+func QueueSharers(spans []Span, hop uint16, t tvatime.Time, excludeID uint64) []uint64 {
+	type window struct {
+		enq  tvatime.Time
+		exit tvatime.Time
+	}
+	occ := make(map[uint64]window)
+	for _, sp := range spans {
+		if sp.Hop != hop || sp.ID == excludeID {
+			continue
+		}
+		switch sp.Edge {
+		case EdgeEnqueue:
+			occ[sp.ID] = window{enq: sp.Time, exit: NoTime}
+		case EdgeDequeue, EdgeDrop:
+			if w, ok := occ[sp.ID]; ok && w.exit == NoTime {
+				w.exit = sp.Time
+				occ[sp.ID] = w
+			}
+		}
+	}
+	var ids []uint64
+	for id, w := range occ {
+		if w.enq <= t && (w.exit == NoTime || w.exit > t) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// HopAggregate is aggregated wait/service over every visit to one hop.
+type HopAggregate struct {
+	Hop                    uint16
+	Visits                 int
+	WaitSum, WaitMax       tvatime.Duration
+	ServiceSum, ServiceMax tvatime.Duration
+}
+
+// MeanWait is the average observed queue wait.
+func (h HopAggregate) MeanWait() tvatime.Duration {
+	if h.Visits == 0 {
+		return 0
+	}
+	return h.WaitSum / tvatime.Duration(h.Visits)
+}
+
+// MeanService is the average observed service time.
+func (h HopAggregate) MeanService() tvatime.Duration {
+	if h.Visits == 0 {
+		return 0
+	}
+	return h.ServiceSum / tvatime.Duration(h.Visits)
+}
+
+// AggregateHops reduces chain stats to per-hop aggregates, optionally
+// filtered to one flow (src, dst raw addresses; 0,0 means every flow).
+// Hops come back in hop-id order.
+func AggregateHops(stats []ChainStats, src, dst uint32) []HopAggregate {
+	agg := make(map[uint16]*HopAggregate)
+	for i := range stats {
+		st := &stats[i]
+		if (src != 0 && st.Src != src) || (dst != 0 && st.Dst != dst) {
+			continue
+		}
+		for _, v := range st.Visits {
+			w, s := v.Wait(), v.Service()
+			if w < 0 && s < 0 {
+				continue
+			}
+			a := agg[v.Hop]
+			if a == nil {
+				a = &HopAggregate{Hop: v.Hop}
+				agg[v.Hop] = a
+			}
+			a.Visits++
+			if w >= 0 {
+				a.WaitSum += w
+				if w > a.WaitMax {
+					a.WaitMax = w
+				}
+			}
+			if s >= 0 {
+				a.ServiceSum += s
+				if s > a.ServiceMax {
+					a.ServiceMax = s
+				}
+			}
+		}
+	}
+	out := make([]HopAggregate, 0, len(agg))
+	for _, a := range agg {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hop < out[j].Hop })
+	return out
+}

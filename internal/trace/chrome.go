@@ -1,0 +1,147 @@
+// Chrome Trace Event JSON export (the "JSON Array Format" that
+// chrome://tracing and Perfetto's legacy importer load). Each
+// registered hop — a router or host output interface — becomes one
+// track (tid); queue-wait and transmit phases render as nested "X"
+// complete events, while sends, verdicts, demotions, drops, and
+// deliveries render as "i" instant events. The JSON is hand-built with
+// strconv so output is byte-deterministic for a given span list.
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"tva/internal/tvatime"
+)
+
+// chromePID is the single process id all tracks live under.
+const chromePID = 1
+
+// routerTIDBase offsets router-internal (NoHop) events onto their own
+// per-router tracks, above any plausible interface count.
+const routerTIDBase = 100000
+
+type chromeWriter struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+func (c *chromeWriter) raw(s string) {
+	if c.err == nil {
+		_, c.err = c.w.WriteString(s)
+	}
+}
+
+// event opens one trace-event object, writing the common fields.
+func (c *chromeWriter) event(ph byte, name string, tid int, ts tvatime.Time) {
+	if c.first {
+		c.first = false
+	} else {
+		c.raw(",\n")
+	}
+	c.raw(`{"ph":"`)
+	c.raw(string(ph))
+	c.raw(`","pid":` + strconv.Itoa(chromePID))
+	c.raw(`,"tid":` + strconv.Itoa(tid))
+	c.raw(`,"ts":` + microseconds(ts))
+	c.raw(`,"name":` + strconv.Quote(name))
+}
+
+func (c *chromeWriter) close() { c.raw("}") }
+
+// microseconds renders a simulation time as fixed-precision trace-
+// event microseconds.
+func microseconds(t tvatime.Time) string {
+	return strconv.FormatFloat(float64(t)/1e3, 'f', 3, 64)
+}
+
+func spanTID(sp *Span) int {
+	if sp.Hop == NoHop {
+		return routerTIDBase + int(sp.Router)
+	}
+	return int(sp.Hop)
+}
+
+// WriteChromeTrace renders the dump as Chrome Trace Event JSON.
+func WriteChromeTrace(w io.Writer, d *Dump) error {
+	bw := bufio.NewWriter(w)
+	c := &chromeWriter{w: bw, first: true}
+	c.raw(`{"displayTimeUnit":"ms","traceEvents":[` + "\n")
+
+	// Track-name metadata: one per registered hop, plus router tracks
+	// discovered from the spans.
+	for i, name := range d.Hops {
+		c.event('M', "thread_name", i, 0)
+		c.raw(`,"args":{"name":` + strconv.Quote(name) + `}`)
+		c.close()
+	}
+	routers := map[int]bool{}
+	for i := range d.Spans {
+		sp := &d.Spans[i]
+		if sp.Hop == NoHop && !routers[int(sp.Router)] {
+			routers[int(sp.Router)] = true
+			c.event('M', "thread_name", routerTIDBase+int(sp.Router), 0)
+			c.raw(`,"args":{"name":"router ` + strconv.Itoa(int(sp.Router)) + `"}`)
+			c.close()
+		}
+	}
+
+	// Phase reconstruction: walk spans in causal order, pairing each
+	// dequeue with the open enqueue and each tx with the dequeue, per
+	// (trace ID, hop).
+	type key struct {
+		id  uint64
+		hop uint16
+	}
+	enq := map[key]*Span{}
+	deq := map[key]*Span{}
+	idArg := func(sp *Span) string { return `,"args":{"id":` + strconv.FormatUint(sp.ID, 10) }
+	for i := range d.Spans {
+		sp := &d.Spans[i]
+		k := key{sp.ID, sp.Hop}
+		switch sp.Edge {
+		case EdgeEnqueue:
+			enq[k] = sp
+		case EdgeDequeue:
+			if e := enq[k]; e != nil {
+				c.event('X', "queue "+ClassName(sp.Class), spanTID(sp), e.Time)
+				c.raw(`,"dur":` + microseconds(tvatime.Time(sp.Time-e.Time)))
+				c.raw(idArg(sp) + `,"class":` + strconv.Quote(ClassName(sp.Class)))
+				if ClassName(sp.Class) == "request" {
+					c.raw(`,"path_id":` + strconv.Itoa(int(sp.PathID)))
+				}
+				c.raw("}")
+				c.close()
+				delete(enq, k)
+			}
+			deq[k] = sp
+		case EdgeTx:
+			if q := deq[k]; q != nil {
+				c.event('X', "tx", spanTID(sp), q.Time)
+				c.raw(`,"dur":` + microseconds(tvatime.Time(sp.Time-q.Time)))
+				c.raw(idArg(sp) + "}")
+				c.close()
+				delete(deq, k)
+			}
+		case EdgeSend, EdgeVerdict, EdgeDemote, EdgeDrop, EdgeDeliver:
+			c.event('i', sp.Edge.String(), spanTID(sp), sp.Time)
+			c.raw(`,"s":"t"`)
+			c.raw(idArg(sp))
+			if sp.Edge == EdgeVerdict {
+				c.raw(`,"class":` + strconv.Quote(ClassName(sp.Class)))
+			}
+			if sp.Edge == EdgeDrop || sp.Edge == EdgeDemote {
+				c.raw(`,"reason":` + strconv.Quote(sp.Reason.String()))
+			}
+			c.raw("}")
+			c.close()
+		}
+	}
+	c.raw("\n]}\n")
+	if c.err != nil {
+		return c.err
+	}
+	return bw.Flush()
+}
