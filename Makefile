@@ -4,7 +4,7 @@ GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # job raises it (make fuzz-smoke FUZZTIME=30s).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race bench bench-guard fuzz-smoke cover trace-smoke check
+.PHONY: all build vet lint test race bench bench-guard bench-batch fuzz-smoke cover trace-smoke check
 
 all: check
 
@@ -37,10 +37,17 @@ bench:
 	go run ./cmd/tvabench -label $(GIT_SHA)
 
 # bench-guard fails if any Table 1 row allocates more per packet than
-# the committed PR 1 baseline — the zero-allocation forwarding path
-# must survive telemetry and whatever comes after it.
+# the committed baseline — the zero-allocation forwarding path must
+# survive telemetry and whatever comes after it. The PR 6 baseline
+# pins every row at 0 allocs/op.
 bench-guard:
-	go run ./cmd/tvabench -guard BENCH_pr1.json
+	go run ./cmd/tvabench -guard BENCH_pr6.json
+
+# bench-batch measures the batched data path end to end over loopback
+# sockets and fails unless batch=32 still forwards at >=2x the legacy
+# per-datagram rate (the amortization the batching work exists for).
+bench-batch:
+	go run ./cmd/tvabench -guard-batch
 
 # fuzz-smoke gives each native fuzz target $(FUZZTIME) of mutation on
 # top of the seed corpus (go permits one -fuzz pattern per invocation).
@@ -67,4 +74,4 @@ trace-smoke:
 	go run ./cmd/tvatrace drops smoke.trace
 	go run ./cmd/tvatrace chrome -o /dev/null smoke.trace
 
-check: build lint test race bench-guard
+check: build lint test race bench-guard bench-batch

@@ -35,12 +35,13 @@ import (
 
 // benchSnapshot is the BENCH_<label>.json schema.
 type benchSnapshot struct {
-	Label     string        `json:"label"`
-	Suite     string        `json:"suite"`
-	GoVersion string        `json:"go_version"`
-	Table1    []table1Row   `json:"table1"`
-	Fig12     []fig12Row    `json:"fig12"`
-	Scenarios []scenarioRow `json:"scenarios"`
+	Label      string          `json:"label"`
+	Suite      string          `json:"suite"`
+	GoVersion  string          `json:"go_version"`
+	Table1     []table1Row     `json:"table1"`
+	Fig12      []fig12Row      `json:"fig12"`
+	Fig12Batch []fig12BatchRow `json:"fig12_batch,omitempty"`
+	Scenarios  []scenarioRow   `json:"scenarios"`
 }
 
 type table1Row struct {
@@ -53,6 +54,16 @@ type table1Row struct {
 type fig12Row struct {
 	Kind       string  `json:"kind"`
 	InputPPS   int     `json:"input_pps"`
+	OutputKpps float64 `json:"output_kpps"`
+}
+
+// fig12BatchRow is one point of the batched data path series: the
+// sustained forwarding rate of a full overlay router at a given
+// RouterConfig.Batch, driven over loopback UDP (batch 1 is the legacy
+// per-datagram path).
+type fig12BatchRow struct {
+	Kind       string  `json:"kind"`
+	Batch      int     `json:"batch"`
 	OutputKpps float64 `json:"output_kpps"`
 }
 
@@ -75,6 +86,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers for the snapshot's scenario sweep (0 = GOMAXPROCS)")
 	simSec := flag.Float64("sim-duration", 12, "simulated seconds per snapshot scenario run")
 	guard := flag.String("guard", "", "compare current Table 1 allocs/op against this BENCH_*.json; exit 1 on regression")
+	guardBatchFlag := flag.Bool("guard-batch", false, "measure the batched data path and require >=2x throughput at batch=32 vs batch=1; exit 1 otherwise")
 	flag.Parse()
 
 	var suite capability.Suite
@@ -96,6 +108,14 @@ func main() {
 		return
 	}
 
+	if *guardBatchFlag {
+		if err := guardBatch(suite, *dur); err != nil {
+			fmt.Fprintln(os.Stderr, "tvabench -guard-batch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *label != "" || *jsonPath != "" {
 		if err := writeSnapshot(suite, *label, *jsonPath, *dur, *workers, *simSec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -109,6 +129,7 @@ func main() {
 	}
 	if *all || *fig == 12 {
 		fig12(suite, *dur)
+		fig12Batch(suite, *dur)
 	}
 	if !*all && *table == 0 && *fig == 0 {
 		flag.Usage()
@@ -174,6 +195,100 @@ func fig12(suite capability.Suite, dur time.Duration) {
 		fmt.Println()
 	}
 	fmt.Println()
+}
+
+// measureFig12Batch measures the batched data path series: the
+// sustained loopback forwarding rate of a full overlay router per
+// batch size, best of trials runs each (a stalled window — a dropped
+// datagram under load — voids a run, never the series).
+func measureFig12Batch(suite capability.Suite, dur time.Duration, trials int) ([]fig12BatchRow, error) {
+	kind := overlay.KindRegularWithEntry
+	w := overlay.NewWorkload(kind, suite)
+	rows := make([]fig12BatchRow, 0, len(overlay.BatchSizes))
+	for _, bs := range overlay.BatchSizes {
+		best := 0.0
+		var lastErr error
+		for t := 0; t < trials; t++ {
+			pps, err := overlay.MeasureForwardingBatch(w, bs, dur)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if pps > best {
+				best = pps
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("batch=%d: every trial stalled: %v", bs, lastErr)
+		}
+		rows = append(rows, fig12BatchRow{Kind: kind.String(), Batch: bs, OutputKpps: best / 1000})
+	}
+	return rows, nil
+}
+
+// fig12Batch prints the batched data path series.
+func fig12Batch(suite capability.Suite, dur time.Duration) {
+	fmt.Printf("# Figure 12 (batched): overlay forwarding rate vs RouterConfig.Batch (suite=%s, %v per point)\n", suite.Name, dur)
+	rows, err := measureFig12Batch(suite, dur, 2)
+	if err != nil {
+		fmt.Printf("measurement failed: %v\n\n", err)
+		return
+	}
+	fmt.Printf("%-22s %8s %12s\n", "packet type", "batch", "output kpps")
+	for _, row := range rows {
+		fmt.Printf("%-22s %8d %12.0f\n", row.Kind, row.Batch, row.OutputKpps)
+	}
+	fmt.Println()
+}
+
+// guardBatchRatio is the floor guardBatch enforces: the batched data
+// path must forward at least this many times faster at batch=32 than
+// the legacy per-datagram path it replaced.
+const guardBatchRatio = 2.0
+
+// guardBatch measures the production data path at batch sizes 1 and 32
+// and fails unless batching still pays for itself: >=2x sustained
+// throughput. This is the regression record for the batched
+// forwarding work — syscall amortization (recvmmsg/sendmmsg), one
+// scheduler crossing per burst, and per-burst wakeups — measured
+// end to end over real sockets, best of three runs per size.
+func guardBatch(suite capability.Suite, dur time.Duration) error {
+	w := overlay.NewWorkload(overlay.KindRegularWithEntry, suite)
+	const trials = 3
+	measure := func(bs int) (float64, error) {
+		best := 0.0
+		var lastErr error
+		for t := 0; t < trials; t++ {
+			pps, err := overlay.MeasureForwardingBatch(w, bs, dur)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if pps > best {
+				best = pps
+			}
+		}
+		if best == 0 {
+			return 0, fmt.Errorf("batch=%d: every trial stalled: %v", bs, lastErr)
+		}
+		return best, nil
+	}
+	single, err := measure(1)
+	if err != nil {
+		return err
+	}
+	batched, err := measure(32)
+	if err != nil {
+		return err
+	}
+	ratio := batched / single
+	fmt.Printf("# batch guard (suite=%s): batch=1 %.0f kpps, batch=32 %.0f kpps, ratio %.2fx (floor %.1fx)\n",
+		suite.Name, single/1000, batched/1000, ratio, guardBatchRatio)
+	if ratio < guardBatchRatio {
+		return fmt.Errorf("batched forwarding only %.2fx the per-datagram path (need >=%.1fx)", ratio, guardBatchRatio)
+	}
+	fmt.Println("batched data path within throughput floor")
+	return nil
 }
 
 // guardAllocs compares current Table 1 allocation counts against a
@@ -249,6 +364,13 @@ func writeSnapshot(suite capability.Suite, label, path string, dur time.Duration
 			OutputKpps: out / 1000,
 		})
 	}
+
+	fmt.Fprintln(os.Stderr, "tvabench: Fig. 12 batched data path...")
+	batchRows, err := measureFig12Batch(suite, dur, 2)
+	if err != nil {
+		return fmt.Errorf("fig12_batch: %w", err)
+	}
+	snap.Fig12Batch = batchRows
 
 	fmt.Fprintln(os.Stderr, "tvabench: scenario sweep...")
 	simDur := tvatime.FromSeconds(simSec).Sub(0)

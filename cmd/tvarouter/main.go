@@ -42,6 +42,8 @@ func main() {
 	fast := flag.Bool("fast-hash", false, "use the fast (non-crypto) hash suite")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 = never)")
 	debugAddr := flag.String("pprof", "", "serve pprof and expvar diagnostics on this address (e.g. 127.0.0.1:6060)")
+	batch := flag.Int("batch", 1, "datagrams per socket burst (recvmmsg/sendmmsg where available); 1 = per-datagram path")
+	shards := flag.Int("shards", 0, "per-flow worker shards for capability processing (needs -batch > 1; 0/1 = single engine)")
 	var routes routeList
 	flag.Var(&routes, "route", "addr=udphost:port (repeatable)")
 	def := flag.String("default", "", "default next hop udphost:port")
@@ -55,6 +57,8 @@ func main() {
 		Listen:          *listen,
 		LinkBps:         *rate,
 		RequestFraction: *reqFrac,
+		Batch:           *batch,
+		Shards:          *shards,
 		Core: core.RouterConfig{
 			Suite:         suite,
 			TrustBoundary: true,
@@ -89,8 +93,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("tvarouter listening on %s (%d routes, suite=%s)\n",
-		r.Addr(), len(routes), suite.Name)
+	fmt.Printf("tvarouter listening on %s (%d routes, suite=%s, batch=%d, shards=%d)\n",
+		r.Addr(), len(routes), suite.Name, *batch, *shards)
 
 	if *debugAddr != "" {
 		// /debug/pprof (profiles) and /debug/vars (expvar) on the
@@ -121,13 +125,16 @@ func main() {
 
 // diagnostics snapshots the router's counters for /debug/vars:
 // forwarding totals, reason-attributed scheduler drops, demotion
-// causes, flow-cache occupancy, the hop-wait estimate, and one
-// structured gauge block per neighbour port (the same gauges the
-// simulator's sampler records: per-class backlogs, live fair queues,
-// and the request channel's token level).
+// causes, flow-cache occupancy, the hop-wait estimate, burst fill
+// levels of the batched data path, and one structured gauge block per
+// neighbour port (the same gauges the simulator's sampler records:
+// per-class backlogs, live fair queues, and the request channel's
+// token level). The demotion and cache numbers go through the
+// shard-aware accessors, so they aggregate the per-flow workers when
+// -shards is on.
 func diagnostics(r *overlay.Router) map[string]any {
 	schedDrops := r.SchedDrops()
-	engine := r.Core()
+	coreDem := r.CoreDemotions()
 	drops := make(map[string]uint64, telemetry.NumDropReasons)
 	demotions := make(map[string]uint64, telemetry.NumDropReasons)
 	for i := 0; i < telemetry.NumDropReasons; i++ {
@@ -135,7 +142,7 @@ func diagnostics(r *overlay.Router) map[string]any {
 		if n := schedDrops.Get(reason); n > 0 {
 			drops[reason.String()] = n
 		}
-		if n := engine.Demotions.Get(reason); n > 0 {
+		if n := coreDem.Get(reason); n > 0 {
 			demotions[reason.String()] = n
 		}
 	}
@@ -160,8 +167,10 @@ func diagnostics(r *overlay.Router) map[string]any {
 		"sched_drops":       drops,
 		"sched_drops_total": schedDrops.Total(),
 		"demotions":         demotions,
-		"flowcache_entries": engine.Cache().Len(),
+		"flowcache_entries": r.FlowCacheEntries(),
 		"queue_wait_us":     r.QueueWaitMicros(),
+		"rx_burst_fill":     r.RxBurstFill(),
+		"tx_burst_fill":     r.TxBurstFill(),
 		"ports":             ports,
 	}
 }

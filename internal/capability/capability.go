@@ -128,10 +128,12 @@ func (a *Authority) rotateTo(e int64) {
 	a.epoch = e
 }
 
-// keyedFor returns the MAC to use for a value minted at the given
-// timestamp, observed at now, or nil if the mint epoch's secret has
-// already been retired.
-func (a *Authority) keyedFor(ts uint8, now tvatime.Time) mac.Keyed {
+// mac56For computes MAC56(src, dst, ts) under the secret in effect for
+// a value minted at timestamp ts and observed at now. The MAC runs
+// inside the authority's critical section because Keyed instances
+// carry scratch state (mac.Keyed); ok is false if the mint epoch's
+// secret has already been retired.
+func (a *Authority) mac56For(ts uint8, now tvatime.Time, src, dst packet.Addr) (h uint64, ok bool) {
 	nowSec := now.Seconds()
 	curEpoch := int64(now) / int64(a.period)
 	if curEpoch > a.epoch {
@@ -139,7 +141,7 @@ func (a *Authority) keyedFor(ts uint8, now tvatime.Time) mac.Keyed {
 	}
 	age, ok := Age(ts, nowSec)
 	if !ok {
-		return nil
+		return 0, false
 	}
 	mintEpoch := (int64(now) - age*int64(tvatime.Second)) / int64(a.period)
 	if mintEpoch < 0 {
@@ -148,14 +150,43 @@ func (a *Authority) keyedFor(ts uint8, now tvatime.Time) mac.Keyed {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if mintEpoch < a.epoch-1 || mintEpoch > a.epoch {
-		return nil // secret retired (or impossible future epoch)
+		return 0, false // secret retired (or impossible future epoch)
 	}
-	return a.keyed[mintEpoch&1]
+	return a.keyed[mintEpoch&1].MAC56(uint64(src), uint64(dst), uint64(ts)), true
 }
 
 // PreCap mints a pre-capability for the (src, dst) pair at time now
 // (§3.4: hash of timestamp, addresses and the router secret).
+//
+//tva:hotpath
 func (a *Authority) PreCap(src, dst packet.Addr, now tvatime.Time) uint64 {
+	curEpoch := int64(now) / int64(a.period)
+	if curEpoch > a.epoch {
+		a.rotateTo(curEpoch)
+	}
+	ts := uint8(now.Seconds() % tsRollover)
+	a.mu.Lock()
+	h := a.keyed[curEpoch&1].MAC56(uint64(src), uint64(dst), uint64(ts))
+	a.mu.Unlock()
+	return compose(ts, h)
+}
+
+// Minter is a per-burst snapshot of the authority's minting state: the
+// secret-rotation check and the modulo-256 timestamp are resolved once
+// when the snapshot is taken, so batched request processing pays them
+// per burst instead of per packet. Each PreCap still takes the
+// authority's lock for the MAC itself (the Keyed scratch is shared).
+// A Minter is only valid for the instant it was taken at — take a
+// fresh one whenever now advances (core.Router.ProcessBatch takes one
+// per burst, which runs at a single timestamp).
+type Minter struct {
+	a  *Authority
+	k  mac.Keyed
+	ts uint8
+}
+
+// MinterAt snapshots the minting secret and timestamp in effect at now.
+func (a *Authority) MinterAt(now tvatime.Time) Minter {
 	curEpoch := int64(now) / int64(a.period)
 	if curEpoch > a.epoch {
 		a.rotateTo(curEpoch)
@@ -164,7 +195,18 @@ func (a *Authority) PreCap(src, dst packet.Addr, now tvatime.Time) uint64 {
 	a.mu.Lock()
 	k := a.keyed[curEpoch&1]
 	a.mu.Unlock()
-	return compose(ts, k.MAC56(uint64(src), uint64(dst), uint64(ts)))
+	return Minter{a: a, k: k, ts: ts}
+}
+
+// PreCap mints a pre-capability for (src, dst) under the snapshot's
+// secret and timestamp.
+//
+//tva:hotpath
+func (m Minter) PreCap(src, dst packet.Addr) uint64 {
+	m.a.mu.Lock()
+	h := m.k.MAC56(uint64(src), uint64(dst), uint64(m.ts))
+	m.a.mu.Unlock()
+	return compose(m.ts, h)
 }
 
 // ValidateCap checks a full capability for (src, dst) with the claimed
@@ -178,11 +220,11 @@ func (a *Authority) ValidateCap(src, dst packet.Addr, cap uint64, nkb uint16, ts
 	if !ok || age > int64(tsec) {
 		return false // expired (or ambiguous, which implies long expired)
 	}
-	k := a.keyedFor(ts, now)
-	if k == nil {
+	h, ok := a.mac56For(ts, now, src, dst)
+	if !ok {
 		return false
 	}
-	pre := compose(ts, k.MAC56(uint64(src), uint64(dst), uint64(ts)))
+	pre := compose(ts, h)
 	return hashOf(a.suite.CapHash(pre, uint32(nkb), tsec)) == hashOf(cap)
 }
 
@@ -192,11 +234,11 @@ func (a *Authority) ValidateCap(src, dst packet.Addr, cap uint64, nkb uint16, ts
 // verify), but destinations of diagnostic tools and tests use it.
 func (a *Authority) ValidatePre(src, dst packet.Addr, pre uint64, now tvatime.Time) bool {
 	ts := Timestamp(pre)
-	k := a.keyedFor(ts, now)
-	if k == nil {
+	h, ok := a.mac56For(ts, now, src, dst)
+	if !ok {
 		return false
 	}
-	return hashOf(pre) == k.MAC56(uint64(src), uint64(dst), uint64(ts))
+	return hashOf(pre) == h
 }
 
 // Expiry returns the first instant at which a capability with the

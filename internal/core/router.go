@@ -37,6 +37,13 @@ type RouterConfig struct {
 	// (§3.6). Zero values disable the check.
 	MinNKB  uint16
 	MinTSec uint8
+	// Authority, when non-nil, is used instead of minting fresh
+	// secrets. Shard replicas of one logical router must share the
+	// capability authority (it is internally locked) and the Tagger so
+	// every shard mints and validates identical capabilities and path
+	// tags; each replica still owns a private flow cache, keyed by a
+	// flow hash that also picks the shard, so no flow's state is split.
+	Authority *capability.Authority
 }
 
 // RouterStats counts router processing outcomes.
@@ -90,9 +97,13 @@ func NewRouter(cfg RouterConfig) *Router {
 	if cfg.TrustBoundary && cfg.Tagger == nil {
 		cfg.Tagger = pathid.New()
 	}
+	auth := cfg.Authority
+	if auth == nil {
+		auth = capability.NewAuthority(cfg.Suite, cfg.SecretPeriod)
+	}
 	return &Router{
 		cfg:   cfg,
-		auth:  capability.NewAuthority(cfg.Suite, cfg.SecretPeriod),
+		auth:  auth,
 		cache: NewAuthorityCache(cfg.CacheEntries),
 	}
 }
@@ -130,15 +141,93 @@ func (r *Router) Restart() {
 // Cache exposes the router's flow cache.
 func (r *Router) Cache() *flowcache.Cache { return r.cache }
 
+// batchCtx carries the per-burst amortization state threaded through
+// the shared packet engine: the capability-minter snapshot (one
+// secret-rotation check and timestamp derivation per burst) and the
+// last flow-cache resolution (map probes collapse across a train of
+// packets on one flow). A zero batchCtx is a burst of one — Process
+// runs the same engine with a fresh context, so the single-packet and
+// batched paths cannot drift apart.
+type batchCtx struct {
+	minter     capability.Minter
+	haveMinter bool
+
+	memoKey   flowcache.Key
+	memoEntry *flowcache.Entry
+	haveMemo  bool
+}
+
+// burstMinter returns the burst's capability minter, snapshotting it
+// from the authority on first use. Valid because a burst is processed
+// at a single instant (now does not advance mid-burst).
+//
+//tva:hotpath
+func (r *Router) burstMinter(bc *batchCtx, now tvatime.Time) capability.Minter {
+	if !bc.haveMinter {
+		bc.minter = r.auth.MinterAt(now)
+		bc.haveMinter = true
+	}
+	return bc.minter
+}
+
+// lookup resolves the flow-cache entry for (src, dst), serving a
+// repeat of the burst's previous flow from the memo. The memo is
+// invalidated on Create (entries recycle through the cache's free
+// list, so a held pointer is only trustworthy between mutations);
+// Charge and Replace mutate the entry in place and keep it valid.
+//
+//tva:hotpath
+func (r *Router) lookup(bc *batchCtx, src, dst packet.Addr) *flowcache.Entry {
+	key := flowcache.Key{Src: src, Dst: dst}
+	if bc.haveMemo && bc.memoKey == key {
+		r.cache.Revisit(bc.memoEntry != nil)
+		return bc.memoEntry
+	}
+	e := r.cache.Lookup(src, dst)
+	bc.memoKey, bc.memoEntry, bc.haveMemo = key, e, true
+	return e
+}
+
 // Process runs Fig. 6 for one packet: it stamps pre-capabilities (and,
 // at trust boundaries, path identifiers) on requests and valid
 // renewals, validates and charges regular packets against the flow
 // cache, demotes packets that fail, and assigns the forwarding class.
 // inIface is the incoming interface index used for path identifier
-// tags. The packet is mutated in place.
+// tags. The packet is mutated in place. Process is the burst-of-one
+// form of ProcessBatch: both run the same engine.
 //
 //tva:hotpath
 func (r *Router) Process(pkt *packet.Packet, inIface int, now tvatime.Time) packet.Class {
+	var bc batchCtx
+	return r.process1(pkt, inIface, now, &bc)
+}
+
+// ProcessBatch runs Fig. 6 over every occupied slot of b in order,
+// recording each packet's forwarding class in the batch's class slots
+// (nil slots from Take are skipped). Semantics are packet-for-packet
+// identical to calling Process in a loop — same classes, stats,
+// demotion counters, trace events, and spans, in the same order — but
+// the fixed per-packet costs amortize across the burst: the secret
+// snapshot behind pre-capability minting is taken once, and flow-cache
+// map probes collapse for trains of packets on one flow. inIface
+// applies to the whole burst (a batch is filled from one ingress).
+//
+//tva:hotpath
+func (r *Router) ProcessBatch(b *packet.Batch, inIface int, now tvatime.Time) {
+	var bc batchCtx
+	for i, pkt := range b.Pkts() {
+		if pkt == nil {
+			continue
+		}
+		b.SetClass(i, r.process1(pkt, inIface, now, &bc))
+	}
+}
+
+// process1 is the shared single-packet engine behind Process and
+// ProcessBatch.
+//
+//tva:hotpath
+func (r *Router) process1(pkt *packet.Packet, inIface int, now tvatime.Time, bc *batchCtx) packet.Class {
 	h := pkt.Hdr
 	if h == nil {
 		r.Stats.Legacy++
@@ -161,10 +250,10 @@ func (r *Router) Process(pkt *packet.Packet, inIface int, now tvatime.Time) pack
 	before := h.WireSize()
 	switch h.Kind {
 	case packet.KindRequest:
-		r.stampRequest(pkt, h, inIface, now)
+		r.stampRequest(pkt, h, inIface, now, bc)
 		pkt.Class = packet.ClassRequest
 	default:
-		if ok, reason := r.processRegular(pkt, h, inIface, now); ok {
+		if ok, reason := r.processRegular(pkt, h, inIface, now, bc); ok {
 			pkt.Class = packet.ClassRegular
 		} else {
 			h.Demoted = true
@@ -239,10 +328,12 @@ func (r *Router) trace(pkt *packet.Packet, now tvatime.Time) {
 
 // stampRequest adds this router's pre-capability (and path identifier
 // at trust boundaries) to a request.
-func (r *Router) stampRequest(pkt *packet.Packet, h *packet.CapHdr, inIface int, now tvatime.Time) {
+//
+//tva:hotpath
+func (r *Router) stampRequest(pkt *packet.Packet, h *packet.CapHdr, inIface int, now tvatime.Time, bc *batchCtx) {
 	r.Stats.Requests++
 	if len(h.Request.PreCaps) < packet.MaxCaps {
-		h.Request.PreCaps = append(h.Request.PreCaps, r.auth.PreCap(pkt.Src, pkt.Dst, now))
+		h.Request.PreCaps = append(h.Request.PreCaps, r.burstMinter(bc, now).PreCap(pkt.Src, pkt.Dst))
 	}
 	if r.cfg.TrustBoundary && len(h.Request.PathIDs) < 255 {
 		pathid.Stamp(h, r.cfg.Tagger.ForInterface(inIface))
@@ -276,7 +367,7 @@ func (r *Router) stampHop(h *packet.CapHdr) {
 //     the bounded flow cache could not admit it, or its cache entry is
 //     gone (evicted/expired) and it carries only a nonce to revalidate
 //     with.
-func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface int, now tvatime.Time) (bool, telemetry.DropReason) {
+func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface int, now tvatime.Time, bc *batchCtx) (bool, telemetry.DropReason) {
 	// This router's capability, if the packet carries a list: the
 	// capability pointer names this router's slot and is advanced
 	// unconditionally so downstream routers index their own slot even
@@ -302,7 +393,7 @@ func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface in
 	}
 
 	key := flowcache.Key{Src: pkt.Src, Dst: pkt.Dst}
-	entry := r.cache.Lookup(pkt.Src, pkt.Dst)
+	entry := r.lookup(bc, pkt.Src, pkt.Dst)
 	reason := telemetry.DropFlowCachePressure
 	valid := false
 	switch {
@@ -334,8 +425,16 @@ func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface in
 			expiry := capability.Expiry(myCap, h.TSec, now)
 			if !now.Before(expiry) || int64(pkt.Size) > int64(h.NKB)*1024 {
 				reason = telemetry.DropCapExpired
-			} else if r.cache.Create(key, h.Nonce, myCap, int64(h.NKB)*1024, h.TSec, expiry, pkt.Size, now) != nil {
-				valid = true
+			} else {
+				created := r.cache.Create(key, h.Nonce, myCap, int64(h.NKB)*1024, h.TSec, expiry, pkt.Size, now)
+				// Create may have recycled any expired entry, so the
+				// burst memo pointer is no longer trustworthy; the new
+				// entry (when admitted) is the flow's fresh resolution.
+				bc.haveMemo = false
+				if created != nil {
+					bc.memoKey, bc.memoEntry, bc.haveMemo = key, created, true
+					valid = true
+				}
 			}
 			r.Stats.RegularMiss++
 		} else {
@@ -347,7 +446,7 @@ func (r *Router) processRegular(pkt *packet.Packet, h *packet.CapHdr, inIface in
 		// Mint a fresh pre-capability into the renewal (§4.3).
 		r.Stats.Renewals++
 		if len(h.Request.PreCaps) < packet.MaxCaps {
-			h.Request.PreCaps = append(h.Request.PreCaps, r.auth.PreCap(pkt.Src, pkt.Dst, now))
+			h.Request.PreCaps = append(h.Request.PreCaps, r.burstMinter(bc, now).PreCap(pkt.Src, pkt.Dst))
 		}
 		if r.cfg.TrustBoundary && len(h.Request.PathIDs) < 255 {
 			pathid.Stamp(h, r.cfg.Tagger.ForInterface(inIface))

@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTxBatchTraceIdentical pins the Config.TxBatch contract: tx-burst
+// batching is an event-scheduling optimization, not a semantic change,
+// so a batched run of the same seed produces byte-identical trace
+// dumps and identical results — down to every span timestamp.
+func TestTxBatchTraceIdentical(t *testing.T) {
+	plain := tracedConfig()
+	batched := tracedConfig()
+	batched.TxBatch = 32
+
+	resPlain := Run(plain)
+	resBatched := Run(batched)
+
+	var a, b bytes.Buffer
+	if err := resPlain.Telemetry.Spans.WriteDump(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := resBatched.Telemetry.Spans.WriteDump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("trace dumps diverge under TxBatch=32: %d vs %d bytes", a.Len(), b.Len())
+	}
+	if got, want := resBatched.CompletionFraction(), resPlain.CompletionFraction(); got != want {
+		t.Fatalf("completion fraction %v batched, %v unbatched", got, want)
+	}
+	if resBatched.BottleneckDrops != resPlain.BottleneckDrops {
+		t.Fatalf("bottleneck drops %d batched, %d unbatched", resBatched.BottleneckDrops, resPlain.BottleneckDrops)
+	}
+	if len(resBatched.Transfers) != len(resPlain.Transfers) {
+		t.Fatalf("transfer count %d batched, %d unbatched", len(resBatched.Transfers), len(resPlain.Transfers))
+	}
+	for i := range resPlain.Transfers {
+		if resBatched.Transfers[i] != resPlain.Transfers[i] {
+			t.Fatalf("transfer %d differs: %+v vs %+v", i, resBatched.Transfers[i], resPlain.Transfers[i])
+		}
+	}
+}

@@ -191,6 +191,7 @@ func (b *builder) attachPushback(pr *pushback.Router, out *netsim.Iface) {
 func Run(cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	sim := netsim.New(cfg.Seed + 1)
+	sim.TxBatch = cfg.TxBatch
 	b := &builder{cfg: cfg, sim: sim}
 
 	tel := RunTelemetry{}

@@ -194,6 +194,9 @@ func (b *builder) startSampler(tel *RunTelemetry, lr *netsim.Iface) {
 	s.AddGauge("link_fault_drops", func() float64 {
 		return float64(lr.FaultDrops.Total() + rl.FaultDrops.Total())
 	})
+	// Batching efficiency: mean packets per transmit-loop visit (1.0
+	// when TxBatch <= 1; approaches TxBatch under sustained backlog).
+	s.AddGauge("tx_burst_fill", sim.TxBurstFill)
 
 	stop := sim.Every(cfg.MetricsInterval, func() { s.Sample(sim.Now()) })
 	b.stops = append(b.stops, stop)

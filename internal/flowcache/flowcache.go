@@ -120,6 +120,22 @@ func (c *Cache) Lookup(src, dst packet.Addr) *Entry {
 	return e
 }
 
+// Revisit counts a lookup that the caller satisfied from an entry (or
+// a miss) it resolved earlier in the same processing burst, without
+// re-probing the map. The batched forwarding path memoizes the last
+// flow's resolution for packet trains; Revisit keeps the Hits/Misses
+// accounting identical to the map probe it replaced. hit reports
+// whether the memoized resolution was an entry.
+//
+//tva:hotpath
+func (c *Cache) Revisit(hit bool) {
+	if hit {
+		c.Hits++
+	} else {
+		c.Misses++
+	}
+}
+
 // ttlDelta converts a packet length to its time-equivalent under the
 // entry's rate N/T: L * T / N (§3.6).
 func ttlDelta(l int, n int64, tsec uint8) tvatime.Duration {

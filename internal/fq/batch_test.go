@@ -1,0 +1,151 @@
+package fq
+
+import (
+	"math/rand"
+	"testing"
+
+	"tva/internal/packet"
+)
+
+// TestDRRBulkEquivalence drives a randomized mixed workload through a
+// bulk-operated DRR and a per-packet one and requires identical
+// admission decisions, service order, and bookkeeping.
+func TestDRRBulkEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	single := NewDRR(1500, 4, 4096)
+	bulk := NewDRR(1500, 4, 4096)
+
+	mkRun := func() (uint64, []*packet.Packet) {
+		key := uint64(rng.Intn(6)) // more keys than maxQueues → EnqDropNoQueue
+		n := 1 + rng.Intn(5)
+		pkts := make([]*packet.Packet, n)
+		for i := range pkts {
+			pkts[i] = &packet.Packet{Src: packet.Addr(key), Dst: packet.Addr(i), Size: 100 + rng.Intn(1400)}
+		}
+		return key, pkts
+	}
+
+	for round := 0; round < 50; round++ {
+		key, pkts := mkRun()
+		var wantDrops, gotDrops []*packet.Packet
+		wantAcc := 0
+		for _, p := range pkts {
+			// Clone so each DRR owns distinct packet values; Size is the
+			// only field admission reads.
+			c := *p
+			if single.Enqueue(key, &c) == EnqOK {
+				wantAcc++
+			} else {
+				wantDrops = append(wantDrops, &c)
+			}
+		}
+		gotAcc := bulk.EnqueueBulk(key, pkts, func(p *packet.Packet, _ EnqueueResult) {
+			gotDrops = append(gotDrops, p)
+		})
+		if wantAcc != gotAcc || len(wantDrops) != len(gotDrops) {
+			t.Fatalf("round %d: accepted %d vs %d, drops %d vs %d", round, wantAcc, gotAcc, len(wantDrops), len(gotDrops))
+		}
+		if single.Len() != bulk.Len() || single.Bytes() != bulk.Bytes() || single.NumQueues() != bulk.NumQueues() {
+			t.Fatalf("round %d: bookkeeping diverges: len %d/%d bytes %d/%d queues %d/%d",
+				round, single.Len(), bulk.Len(), single.Bytes(), bulk.Bytes(), single.NumQueues(), bulk.NumQueues())
+		}
+
+		// Drain a random amount through both and compare order.
+		k := rng.Intn(8)
+		dst := make([]*packet.Packet, k)
+		got := bulk.DequeueBulk(dst)
+		for i := 0; i < got; i++ {
+			want := single.Dequeue()
+			if want == nil {
+				t.Fatalf("round %d: bulk produced %d-th packet, single is empty", round, i)
+			}
+			if want.Size != dst[i].Size || want.Src != dst[i].Src || want.Dst != dst[i].Dst {
+				t.Fatalf("round %d pos %d: bulk %+v != single %+v", round, i, dst[i], want)
+			}
+		}
+		if got < k {
+			if extra := single.Dequeue(); extra != nil {
+				t.Fatalf("round %d: bulk drained at %d but single still has %+v", round, got, extra)
+			}
+		}
+		if single.Len() != bulk.Len() || single.Bytes() != bulk.Bytes() {
+			t.Fatalf("round %d after drain: len %d/%d bytes %d/%d", round, single.Len(), bulk.Len(), single.Bytes(), bulk.Bytes())
+		}
+	}
+}
+
+// TestFIFOBulkEquivalence does the same for the drop-tail FIFO, under
+// both byte and packet caps.
+func TestFIFOBulkEquivalence(t *testing.T) {
+	for name, mk := range map[string]func() *FIFO{
+		"bytes": func() *FIFO { return NewFIFO(4096) },
+		"pkts":  func() *FIFO { return NewFIFOCount(7) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			single, bulk := mk(), mk()
+			for round := 0; round < 60; round++ {
+				n := 1 + rng.Intn(6)
+				pkts := make([]*packet.Packet, n)
+				wantAcc, wantDrop := 0, 0
+				for i := range pkts {
+					pkts[i] = &packet.Packet{Src: packet.Addr(round), Dst: packet.Addr(i), Size: 100 + rng.Intn(1200)}
+					c := *pkts[i]
+					if single.Enqueue(&c) {
+						wantAcc++
+					} else {
+						wantDrop++
+					}
+				}
+				gotDrop := 0
+				gotAcc := bulk.EnqueueBulk(pkts, func(*packet.Packet) { gotDrop++ })
+				if wantAcc != gotAcc || wantDrop != gotDrop {
+					t.Fatalf("round %d: accepted %d/%d drops %d/%d", round, wantAcc, gotAcc, wantDrop, gotDrop)
+				}
+				dst := make([]*packet.Packet, rng.Intn(6))
+				got := bulk.DequeueBulk(dst)
+				for i := 0; i < got; i++ {
+					want := single.Dequeue()
+					if want == nil || want.Size != dst[i].Size || want.Dst != dst[i].Dst {
+						t.Fatalf("round %d pos %d: bulk %+v != single %+v", round, i, dst[i], want)
+					}
+				}
+				if single.Len() != bulk.Len() || single.Bytes() != bulk.Bytes() {
+					t.Fatalf("round %d: len %d/%d bytes %d/%d", round, single.Len(), bulk.Len(), single.Bytes(), bulk.Bytes())
+				}
+			}
+		})
+	}
+}
+
+// TestBulkStateMachineEdges pins the DequeueBulk resume semantics: a
+// full dst leaves the served queue at the ring head with its deficit,
+// and a drained queue retires to the free list.
+func TestBulkStateMachineEdges(t *testing.T) {
+	d := NewDRR(1500, 0, 1<<20)
+	for i := 0; i < 3; i++ {
+		d.EnqueueBulk(1, []*packet.Packet{{Dst: 1, Size: 1000}}, nil)
+		d.EnqueueBulk(2, []*packet.Packet{{Dst: 2, Size: 1000}}, nil)
+	}
+	dst := make([]*packet.Packet, 1)
+	// One-slot drains must follow the per-packet DRR walk exactly,
+	// including the deficit carry-over that lets a queue send twice in
+	// a row once its accumulated deficit covers two packets.
+	var order []packet.Addr
+	for d.Len() > 0 {
+		n := d.DequeueBulk(dst)
+		if n != 1 {
+			t.Fatalf("DequeueBulk = %d, want 1", n)
+		}
+		order = append(order, dst[0].Dst)
+	}
+	want := []packet.Addr{1, 2, 1, 1, 2, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+	if d.NumQueues() != 0 {
+		t.Fatalf("queues not retired: %d", d.NumQueues())
+	}
+}

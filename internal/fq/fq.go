@@ -140,6 +140,129 @@ func (d *DRR) Enqueue(key uint64, pkt *packet.Packet) EnqueueResult {
 	return EnqOK
 }
 
+// EnqueueBulk adds a run of packets for one key in order, with
+// accept/drop decisions identical to calling Enqueue per packet. The
+// fixed costs are paid once per run instead of once per packet: one
+// map probe, one ring insertion, one slot-array reservation, and one
+// update of the aggregate byte/packet bookkeeping. Refused packets are
+// handed to drop with the bound that refused them (drop may be nil).
+// It returns the number accepted. Nil slots (batch Take) are skipped.
+//
+//tva:hotpath
+func (d *DRR) EnqueueBulk(key uint64, pkts []*packet.Packet, drop func(*packet.Packet, EnqueueResult)) int {
+	q := d.queues[key]
+	if q == nil {
+		if d.maxQueues > 0 && len(d.queues) >= d.maxQueues {
+			if drop != nil {
+				for _, pkt := range pkts {
+					if pkt != nil {
+						drop(pkt, EnqDropNoQueue)
+					}
+				}
+			}
+			return 0
+		}
+		q = d.newFlowq(key)
+		d.queues[key] = q
+	}
+	q.reserve(len(pkts))
+	accepted, bytes := 0, 0
+	for _, pkt := range pkts {
+		if pkt == nil {
+			continue
+		}
+		// The per-packet byte-cap check must see the bytes already
+		// accepted from this run, or bulk and looped admission diverge.
+		if q.byteCount+bytes+pkt.Size > d.perQBytes {
+			if drop != nil {
+				drop(pkt, EnqDropQueueFull)
+			}
+			continue
+		}
+		q.pkts = append(q.pkts, pkt)
+		bytes += pkt.Size
+		accepted++
+	}
+	q.byteCount += bytes
+	d.bytes += bytes
+	d.pkts += accepted
+	if accepted > 0 && q.next == nil { // not in the active ring
+		d.ringPush(q)
+	}
+	return accepted
+}
+
+// DequeueBulk fills dst with up to len(dst) packets in exactly the
+// order repeated Dequeue calls would produce, but serves each queue's
+// deficit-covered run with one bulk ring copy and one bookkeeping
+// update. It returns the number of packets written.
+//
+//tva:hotpath
+func (d *DRR) DequeueBulk(dst []*packet.Packet) int {
+	n := 0
+	for n < len(dst) && d.head != nil {
+		q := d.head
+		// Maximal run the queue's deficit covers (cumulative, exactly
+		// the per-packet deficit walk).
+		run, bytes := 0, 0
+		for n+run < len(dst) && q.head+run < len(q.pkts) {
+			sz := q.pkts[q.head+run].Size
+			if bytes+sz > q.deficit {
+				break
+			}
+			bytes += sz
+			run++
+		}
+		if run > 0 {
+			copy(dst[n:n+run], q.pkts[q.head:q.head+run])
+			for i := 0; i < run; i++ {
+				q.pkts[q.head+i] = nil
+			}
+			q.head += run
+			if q.head == len(q.pkts) {
+				q.pkts = q.pkts[:0]
+				q.head = 0
+			}
+			q.deficit -= bytes
+			q.byteCount -= bytes
+			d.bytes -= bytes
+			d.pkts -= run
+			n += run
+		}
+		switch {
+		case q.len() == 0:
+			// Queue drained: retire it, as the per-packet path does when
+			// the last packet leaves.
+			q.deficit = 0
+			d.ringRemove(q)
+			delete(d.queues, q.key)
+			q.next = d.free
+			d.free = q
+		case n == len(dst):
+			// dst is full; the queue keeps its deficit and stays at the
+			// ring head so the next call resumes exactly here.
+		default:
+			// Deficit exhausted: top up and rotate.
+			q.deficit += d.quantum
+			d.head = q.next
+		}
+	}
+	return n
+}
+
+// reserve prepares the slot array to absorb n more packets with at
+// most one compaction-or-grow, mirroring push's lazy compaction.
+func (q *flowq) reserve(n int) {
+	if q.head > 0 && len(q.pkts)+n > cap(q.pkts) {
+		m := copy(q.pkts, q.pkts[q.head:])
+		for i := m; i < len(q.pkts); i++ {
+			q.pkts[i] = nil
+		}
+		q.pkts = q.pkts[:m]
+		q.head = 0
+	}
+}
+
 // newFlowq reuses a retired flowq from the free list, or allocates.
 func (d *DRR) newFlowq(key uint64) *flowq {
 	if q := d.free; q != nil {
@@ -304,6 +427,68 @@ func (f *FIFO) Dequeue() *packet.Packet {
 	}
 	f.curBytes -= pkt.Size
 	return pkt
+}
+
+// EnqueueBulk appends a run of packets in order, with tail-drop
+// decisions identical to per-packet Enqueue but one compaction-or-grow
+// decision for the whole run. Refused packets are handed to drop
+// (which may be nil); nil slots are skipped. Returns the number
+// accepted.
+//
+//tva:hotpath
+func (f *FIFO) EnqueueBulk(pkts []*packet.Packet, drop func(*packet.Packet)) int {
+	if f.head > 0 && len(f.pkts)+len(pkts) > cap(f.pkts) {
+		n := copy(f.pkts, f.pkts[f.head:])
+		for i := n; i < len(f.pkts); i++ {
+			f.pkts[i] = nil
+		}
+		f.pkts = f.pkts[:n]
+		f.head = 0
+	}
+	accepted := 0
+	for _, pkt := range pkts {
+		if pkt == nil {
+			continue
+		}
+		if (f.byteCap > 0 && f.curBytes+pkt.Size > f.byteCap) ||
+			(f.pktCap > 0 && f.Len() >= f.pktCap) {
+			if drop != nil {
+				drop(pkt)
+			}
+			continue
+		}
+		f.pkts = append(f.pkts, pkt)
+		f.curBytes += pkt.Size
+		accepted++
+	}
+	return accepted
+}
+
+// DequeueBulk fills dst with up to len(dst) packets in FIFO order with
+// one ring copy and one head advance. Returns the number written.
+//
+//tva:hotpath
+func (f *FIFO) DequeueBulk(dst []*packet.Packet) int {
+	n := f.Len()
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n == 0 {
+		return 0
+	}
+	copy(dst, f.pkts[f.head:f.head+n])
+	bytes := 0
+	for i := 0; i < n; i++ {
+		bytes += dst[i].Size
+		f.pkts[f.head+i] = nil
+	}
+	f.head += n
+	if f.head == len(f.pkts) {
+		f.pkts = f.pkts[:0]
+		f.head = 0
+	}
+	f.curBytes -= bytes
+	return n
 }
 
 // Flush drains the FIFO, handing each packet to release.

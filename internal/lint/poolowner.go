@@ -6,11 +6,15 @@
 // packet quietly re-enables the per-packet allocation PR 1 removed; a
 // double release poisons the pool with a packet someone still holds.
 //
+// packet.AcquireBatch follows the same contract with ReleaseBatch (or
+// its terminal-consumer form, the ReleaseAll method) as the release,
+// so batch containers are tracked exactly like packets.
+//
 // The analysis is intraprocedural and branch-sensitive but not
 // path-sensitive: it tracks each variable initialized directly from
-// packet.AcquirePacket() through the function body, merging states at
-// control-flow joins. States per variable are sets over
-// {owned, handed, released}:
+// packet.AcquirePacket() or packet.AcquireBatch() through the function
+// body, merging states at control-flow joins. States per variable are
+// sets over {owned, handed, released}:
 //
 //   - Release(p) with released already possible  -> possible double release
 //   - any other use of p after a certain release -> use after release
@@ -33,7 +37,7 @@ import (
 // PoolOwner is the poolowner analyzer.
 var PoolOwner = &Analyzer{
 	Name: "poolowner",
-	Doc:  "pooled *packet.Packet values must reach exactly one Release/handoff on every return path",
+	Doc:  "pooled *packet.Packet and *packet.Batch values must reach exactly one release/handoff on every return path",
 	Run:  runPoolOwner,
 }
 
@@ -452,23 +456,44 @@ func (a *ownerAnalysis) markHanded(env ownerEnv, v *types.Var, pos token.Pos) ow
 	return env
 }
 
-// isAcquire reports whether call is packet.AcquirePacket().
+// isAcquire reports whether call takes a value out of a packet pool:
+// packet.AcquirePacket() or packet.AcquireBatch(). Both follow the
+// same ownership contract, so both introduce tracking.
 func (a *ownerAnalysis) isAcquire(call *ast.CallExpr) bool {
 	fn := funcFor(a.pkg.Info, call)
-	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == a.packetPath && fn.Name() == "AcquirePacket"
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != a.packetPath {
+		return false
+	}
+	return fn.Name() == "AcquirePacket" || fn.Name() == "AcquireBatch"
 }
 
-// releaseTarget returns the tracked variable released by call, if call
-// is packet.Release(v) for a tracked v.
+// releaseTarget returns the tracked variable terminally consumed by
+// call: packet.Release(v), packet.ReleaseBatch(v), or the method form
+// v.ReleaseAll() for a tracked v. ReleaseAll counts as the batch's
+// release (it ends with ReleaseBatch), so a later ReleaseBatch on the
+// same variable is a double release.
 func (a *ownerAnalysis) releaseTarget(call *ast.CallExpr, env ownerEnv) *types.Var {
 	fn := funcFor(a.pkg.Info, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != a.packetPath || fn.Name() != "Release" {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != a.packetPath {
 		return nil
 	}
-	if len(call.Args) != 1 {
+	var target ast.Expr
+	switch fn.Name() {
+	case "Release", "ReleaseBatch":
+		if len(call.Args) != 1 {
+			return nil
+		}
+		target = call.Args[0]
+	case "ReleaseAll":
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		target = sel.X
+	default:
 		return nil
 	}
-	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	id, ok := ast.Unparen(target).(*ast.Ident)
 	if !ok {
 		return nil
 	}

@@ -1,7 +1,9 @@
 // Package poolowner seeds the three pool-ownership mistakes the
 // poolowner analyzer catches — a leak, a double release, and a use
 // after release — next to the legal patterns (return handoff,
-// conditional enqueue with a release on the failure arm).
+// conditional enqueue with a release on the failure arm). Batch
+// containers follow the same contract through AcquireBatch /
+// ReleaseBatch / ReleaseAll, so the same cases are seeded for them.
 package poolowner
 
 import "tva/internal/packet"
@@ -49,6 +51,47 @@ func DropPoint(keep bool) {
 	packet.Release(p)
 }
 
+func BatchLeak() {
+	b := packet.AcquireBatch()
+	b.Reset()
+} // want "leaks on this return path"
+
+func BatchDoubleRelease() {
+	b := packet.AcquireBatch()
+	b.ReleaseAll()
+	packet.ReleaseBatch(b) // want "double release"
+}
+
+func BatchUseAfterRelease() {
+	b := packet.AcquireBatch()
+	b.ReleaseAll()
+	consumeBatch(b) // want "used after Release"
+}
+
+// BatchTerminal consumes remaining slots and the container in one
+// call: legal.
+func BatchTerminal() {
+	b := packet.AcquireBatch()
+	p := packet.AcquirePacket()
+	b.Append(p)
+	b.ReleaseAll()
+}
+
+// BatchContainerOnly hands the slots onward and releases only the
+// container: legal (the enqueue owns the packets now).
+func BatchContainerOnly(ok bool) {
+	b := packet.AcquireBatch()
+	if !tryConsumeBatch(b, ok) {
+		b.ReleaseAll()
+		return
+	}
+	packet.ReleaseBatch(b)
+}
+
 func consume(p *packet.Packet) {}
 
 func tryConsume(p *packet.Packet, ok bool) bool { return ok }
+
+func consumeBatch(b *packet.Batch) {}
+
+func tryConsumeBatch(b *packet.Batch, ok bool) bool { return ok }

@@ -24,6 +24,12 @@ const Mask56 = (uint64(1) << 56) - 1
 // Keyed computes a 56-bit MAC over a small fixed-size message. A router
 // uses one Keyed instance per secret; rotating the secret means
 // constructing a fresh Keyed.
+//
+// Implementations may reuse internal scratch buffers across calls (the
+// AES variant does, to keep the forwarding path allocation-free), so a
+// Keyed instance is NOT safe for concurrent use. The capability
+// Authority and the SIFF Marker serialize every MAC56 call under their
+// own locks.
 type Keyed interface {
 	// MAC56 hashes the three words (src/dst addresses and metadata)
 	// under the instance's secret and returns the low 56 bits.
@@ -50,8 +56,16 @@ func NewSecret() [16]byte {
 // aesMAC is a CBC-MAC over exactly two AES blocks (32 bytes of input:
 // three 8-byte words plus 8 bytes of zero padding). Fixed-length input
 // makes plain CBC-MAC safe.
+//
+// The scratch blocks live on the struct rather than the stack: slices
+// passed through the cipher.Block interface escape, so stack buffers
+// would cost two heap allocations per MAC — the last allocations on
+// the request/renewal forwarding rows. Struct scratch makes MAC56
+// allocation-free at the price of concurrency (see Keyed).
 type aesMAC struct {
 	block cipher.Block
+	in    [32]byte
+	out   [16]byte
 }
 
 // NewAES returns a Keyed backed by AES-128 CBC-MAC, the paper's
@@ -66,20 +80,20 @@ func NewAES(secret [16]byte) Keyed {
 }
 
 // MAC56 implements Keyed.
+//
+//tva:hotpath
 func (m *aesMAC) MAC56(a, b, c uint64) uint64 {
-	var in [32]byte
-	binary.BigEndian.PutUint64(in[0:8], a)
-	binary.BigEndian.PutUint64(in[8:16], b)
-	binary.BigEndian.PutUint64(in[16:24], c)
+	binary.BigEndian.PutUint64(m.in[0:8], a)
+	binary.BigEndian.PutUint64(m.in[8:16], b)
+	binary.BigEndian.PutUint64(m.in[16:24], c)
 	// in[24:32] stays zero (length is fixed, so no length encoding is
-	// needed for CBC-MAC security).
-	var out [16]byte
-	m.block.Encrypt(out[:], in[0:16])
-	for i := range out {
-		out[i] ^= in[16+i]
+	// needed for CBC-MAC security; the scratch bytes are never written).
+	m.block.Encrypt(m.out[:], m.in[0:16])
+	for i := range m.out {
+		m.out[i] ^= m.in[16+i]
 	}
-	m.block.Encrypt(out[:], out[:])
-	return binary.BigEndian.Uint64(out[0:8]) & Mask56
+	m.block.Encrypt(m.out[:], m.out[:])
+	return binary.BigEndian.Uint64(m.out[0:8]) & Mask56
 }
 
 // fnvMAC is a fast keyed FNV-1a variant for simulation runs. It is NOT

@@ -1,0 +1,97 @@
+package netsim
+
+import (
+	"testing"
+
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+// runBacklog drives n back-to-back packets through a 1 Mb/s link with
+// the given TxBatch and returns the sim and delivery times. The
+// propagation delay exceeds the whole burst's serialization time, so
+// no deliver event falls inside the backlog window and inlining can
+// actually collapse completions.
+func runBacklog(t *testing.T, txBatch, n int) (*Sim, []tvatime.Time) {
+	t.Helper()
+	s := New(7)
+	s.TxBatch = txBatch
+	a, b := s.NewNode("a"), s.NewNode("b")
+	sink := &collector{sim: s}
+	b.Handler = sink
+	ia, _ := Connect(a, b, 1_000_000, 500*tvatime.Millisecond, nil, nil)
+	a.SetDefault(ia)
+	for i := 0; i < n; i++ {
+		a.Send(&packet.Packet{Dst: 2, Size: 1250}) // 10 ms each on the wire
+	}
+	s.Run(tvatime.FromSeconds(2))
+	if len(sink.at) != n {
+		t.Fatalf("TxBatch=%d delivered %d, want %d", txBatch, len(sink.at), n)
+	}
+	return s, sink.at
+}
+
+// TestTxBatchTimingIdentical pins the batching contract at the
+// simulator level: a backlogged link produces the same delivery
+// timestamps at every TxBatch setting, while the burst counters show
+// the event collapse actually happened.
+func TestTxBatchTimingIdentical(t *testing.T) {
+	const n = 24
+	base, baseAt := runBacklog(t, 0, n)
+	if base.TxBurstFill() > 1 {
+		t.Fatalf("unbatched fill %.2f, want <= 1", base.TxBurstFill())
+	}
+	for _, txb := range []int{1, 4, 8, 64} {
+		s, at := runBacklog(t, txb, n)
+		for i := range baseAt {
+			if at[i] != baseAt[i] {
+				t.Fatalf("TxBatch=%d pkt %d delivered at %v, unbatched %v", txb, i, at[i], baseAt[i])
+			}
+		}
+		if txb > 1 && s.TxBurstFill() <= 1 {
+			t.Errorf("TxBatch=%d fill %.2f on a backlogged link, want > 1", txb, s.TxBurstFill())
+		}
+	}
+}
+
+// TestTxBatchRespectsHorizon checks a burst never runs past the Run
+// bound: packets whose serialization completes after `until` stay
+// pending, exactly as the unbatched loop leaves them.
+func TestTxBatchRespectsHorizon(t *testing.T) {
+	mk := func(txBatch int) (*Sim, *Iface, *collector) {
+		s := New(7)
+		s.TxBatch = txBatch
+		a, b := s.NewNode("a"), s.NewNode("b")
+		sink := &collector{sim: s}
+		b.Handler = sink
+		ia, _ := Connect(a, b, 1_000_000, 200*tvatime.Millisecond, nil, nil)
+		a.SetDefault(ia)
+		for i := 0; i < 10; i++ {
+			a.Send(&packet.Packet{Dst: 2, Size: 1250}) // 10 ms each
+		}
+		return s, ia, sink
+	}
+	base, baseIf, baseSink := mk(0)
+	batched, batchedIf, batchedSink := mk(32)
+	// Stop mid-backlog: only the first 3 transmissions complete by 35 ms.
+	until := 35 * tvatime.Millisecond
+	base.Run(tvatime.Time(until))
+	batched.Run(tvatime.Time(until))
+	if batchedIf.Stats.SentPkts != baseIf.Stats.SentPkts {
+		t.Fatalf("batched sent %d by %v, unbatched %d", batchedIf.Stats.SentPkts, until, baseIf.Stats.SentPkts)
+	}
+	if baseIf.Stats.SentPkts != 3 {
+		t.Fatalf("sent %d by %v, want 3", baseIf.Stats.SentPkts, until)
+	}
+	// Resume both to the end; totals and times must still agree.
+	base.Run(tvatime.FromSeconds(1))
+	batched.Run(tvatime.FromSeconds(1))
+	if len(batchedSink.at) != 10 || len(baseSink.at) != 10 {
+		t.Fatalf("after resume: batched %d, unbatched %d, want 10", len(batchedSink.at), len(baseSink.at))
+	}
+	for i := range baseSink.at {
+		if batchedSink.at[i] != baseSink.at[i] {
+			t.Fatalf("pkt %d delivered at %v batched, %v unbatched", i, batchedSink.at[i], baseSink.at[i])
+		}
+	}
+}

@@ -24,10 +24,11 @@ import (
 // Sim is the event loop. It is single-goroutine: handlers run inline
 // from Run.
 type Sim struct {
-	now    tvatime.Time
-	events eventHeap
-	seq    uint64
-	rng    *rand.Rand
+	now     tvatime.Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	horizon tvatime.Time // active Run bound; 0 = no Run in progress
 
 	// Spans, if set, is the flight recorder every lifecycle edge in
 	// this simulation reports to. Attach it before building the
@@ -35,6 +36,19 @@ type Sim struct {
 	// Node.Send assigns trace IDs to injected packets. Nil disables
 	// tracing (a single pointer check per edge).
 	Spans *trace.Recorder
+
+	// TxBatch caps how many packets one interface transmit burst may
+	// serve inline (see Iface.txNext). 0 or 1 is the classic
+	// one-event-per-packet loop; larger values collapse quiet-window
+	// transmissions into one event-loop visit without changing any
+	// timestamp, which the same-seed trace-equivalence tests pin.
+	TxBatch int
+
+	// TxBursts/TxBurstPkts count transmit-loop visits that moved at
+	// least one packet and the packets they moved; their ratio is the
+	// burst fill level surfaced as a telemetry gauge.
+	TxBursts    uint64
+	TxBurstPkts uint64
 }
 
 // New returns a simulator with a deterministic RNG.
@@ -90,14 +104,43 @@ func (s *Sim) Step() bool {
 }
 
 // Run executes events until the queue empties or the clock passes
-// until. Events scheduled beyond until remain pending.
+// until. Events scheduled beyond until remain pending. While Run is
+// active its bound is the burst-inlining horizon: transmit bursts may
+// advance the clock inline only across spans Run itself would have
+// stepped through.
 func (s *Sim) Run(until tvatime.Time) {
+	prev := s.horizon
+	s.horizon = until
 	for len(s.events) > 0 && s.events[0].at <= until {
 		s.Step()
 	}
+	s.horizon = prev
 	if s.now < until {
 		s.now = until
 	}
+}
+
+// canInline reports whether an event at time t, if scheduled now,
+// would be the very next event the loop pops — no pending event is at
+// or before t (a same-time event would win the tie on sequence
+// number), and the active Run covers t. When it holds, running the
+// event's body inline with the clock advanced to t is
+// indistinguishable from scheduling it: same state, same timestamps,
+// same event order.
+func (s *Sim) canInline(t tvatime.Time) bool {
+	if s.horizon == 0 || t > s.horizon {
+		return false
+	}
+	return len(s.events) == 0 || s.events[0].at > t
+}
+
+// TxBurstFill returns the mean packets moved per transmit-loop visit
+// (1.0 when unbatched; up to TxBatch under backlog). Telemetry gauge.
+func (s *Sim) TxBurstFill() float64 {
+	if s.TxBursts == 0 {
+		return 0
+	}
+	return float64(s.TxBurstPkts) / float64(s.TxBursts)
 }
 
 type event struct {
@@ -401,7 +444,10 @@ func (i *Iface) kick() {
 		return
 	}
 	i.busy = true
-	i.txNext()
+	// Not a tail call: kick runs mid-event (inside an enqueue deep in
+	// some handler's stack), where advancing the clock inline would
+	// corrupt the rest of that event's callback.
+	i.txNext(false)
 }
 
 // txTime returns the serialization delay of size bytes at the link rate.
@@ -412,46 +458,84 @@ func (i *Iface) txTime(size int) tvatime.Duration {
 	return tvatime.Duration(int64(size) * 8 * int64(tvatime.Second) / i.Bps)
 }
 
-func (i *Iface) txNext() {
+// txNext serves the output queue. One visit transmits up to
+// Sim.TxBatch packets: after a packet's serialization time is
+// computed, its completion normally becomes a heap event — but when
+// no other event is due first (Sim.canInline), the completion is the
+// event the loop would pop next, so it runs inline with the clock
+// advanced to the completion instant and the loop dequeues the next
+// packet immediately. Every observation (queue delay, tracer events,
+// spans, launch) happens at exactly the virtual time it would have
+// under the one-event-per-packet loop, which is why same-seed batched
+// and unbatched runs produce byte-identical trace dumps.
+//
+// Inlining is only legal when txNext is the last statement of the
+// running event (tail=true, the completion event's own callback). A
+// kick from inside an enqueue is mid-event: code after it would
+// observe the advanced clock and schedule at wrong times.
+func (i *Iface) txNext(tail bool) {
 	sim := i.Node.Sim
-	if i.down {
-		// The interface stops serving its queue while down; SetDown(false)
-		// kicks the loop back into motion.
-		i.busy = false
-		return
-	}
-	pkt, retry := i.Sched.Dequeue(sim.now)
-	if pkt == nil {
-		i.busy = false
-		if retry > sim.now && !i.retryPending {
-			i.retryPending = true
-			sim.At(retry, func() {
-				i.retryPending = false
-				if !i.busy && i.Sched.Len() > 0 {
-					i.kick()
-				}
-			})
+	burst := 0
+	for {
+		if i.down {
+			// The interface stops serving its queue while down;
+			// SetDown(false) kicks the loop back into motion.
+			i.busy = false
+			break
 		}
-		return
-	}
-	if i.QueueDelay != nil {
-		i.QueueDelay.Observe(sim.now.Sub(pkt.EnqueuedAt))
-	}
-	if i.Tracer != nil {
-		i.Tracer.Record(i.traceEvent(pkt, telemetry.EventDequeue))
-	}
-	if sim.Spans != nil && pkt.TraceID != 0 {
-		sim.Spans.Record(i.span(pkt, trace.EdgeDequeue))
-	}
-	sim.After(i.txTime(pkt.Size), func() {
-		i.Stats.SentPkts++
-		i.Stats.SentBytes += uint64(pkt.Size)
+		pkt, retry := i.Sched.Dequeue(sim.now)
+		if pkt == nil {
+			i.busy = false
+			if retry > sim.now && !i.retryPending {
+				i.retryPending = true
+				sim.At(retry, func() {
+					i.retryPending = false
+					if !i.busy && i.Sched.Len() > 0 {
+						i.kick()
+					}
+				})
+			}
+			break
+		}
+		if i.QueueDelay != nil {
+			i.QueueDelay.Observe(sim.now.Sub(pkt.EnqueuedAt))
+		}
+		if i.Tracer != nil {
+			i.Tracer.Record(i.traceEvent(pkt, telemetry.EventDequeue))
+		}
 		if sim.Spans != nil && pkt.TraceID != 0 {
-			sim.Spans.Record(i.span(pkt, trace.EdgeTx))
+			sim.Spans.Record(i.span(pkt, trace.EdgeDequeue))
 		}
-		i.launch(pkt)
-		i.txNext()
-	})
+		done := sim.now.Add(i.txTime(pkt.Size))
+		if tail && burst+1 < sim.TxBatch && sim.canInline(done) {
+			sim.now = done
+			i.txComplete(pkt)
+			burst++
+			continue
+		}
+		burst++
+		sim.At(done, func() {
+			i.txComplete(pkt)
+			i.txNext(true)
+		})
+		break
+	}
+	if burst > 0 {
+		sim.TxBursts++
+		sim.TxBurstPkts += uint64(burst)
+	}
+}
+
+// txComplete finishes one packet's transmission: accounting, the tx
+// span, and the move onto the wire.
+func (i *Iface) txComplete(pkt *packet.Packet) {
+	sim := i.Node.Sim
+	i.Stats.SentPkts++
+	i.Stats.SentBytes += uint64(pkt.Size)
+	if sim.Spans != nil && pkt.TraceID != 0 {
+		sim.Spans.Record(i.span(pkt, trace.EdgeTx))
+	}
+	i.launch(pkt)
 }
 
 func (i *Iface) deliver(pkt *packet.Packet) {

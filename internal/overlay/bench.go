@@ -9,6 +9,7 @@ package overlay
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"time"
 
 	"tva/internal/capability"
@@ -66,6 +67,8 @@ type Workload struct {
 
 	pkts    [][]byte
 	batches [][][]byte // pkts grouped for the Fig. 12 pipeline
+	seeds   [][]byte   // cache-seeding regulars for "with entry" kinds
+	suite   capability.Suite
 	i       int
 	buf     []byte
 	scratch packet.Packet // reusable decode target for ForwardOne
@@ -89,7 +92,7 @@ const (
 // NewWorkload builds a workload of the given kind under the hash
 // suite (capability.Crypto reproduces the paper's AES+SHA1 path).
 func NewWorkload(kind PacketKind, suite capability.Suite) *Workload {
-	w := &Workload{Kind: kind, buf: make([]byte, 0, 512)}
+	w := &Workload{Kind: kind, suite: suite, buf: make([]byte, 0, 512)}
 	cacheSize := hitFlows * 2
 	if kind == KindRegularNoEntry || kind == KindRenewalNoEntry {
 		cacheSize = missCache
@@ -142,6 +145,9 @@ func NewWorkload(kind PacketKind, suite capability.Suite) *Workload {
 				Nonce: nonce, NKB: wlNKB, TSec: wlTSec, Caps: []uint64{cap}}
 			seed := &packet.Packet{Src: src, Dst: dst, TTL: 64, Proto: packet.ProtoRaw,
 				Hdr: seedHdr, Size: packet.OuterHdrLen + seedHdr.WireSize()}
+			// Keep the seed's wire form: MeasureForwardingBatch replays
+			// it to warm any router sharing this workload's authority.
+			w.seeds = append(w.seeds, marshal(seed))
 			if got := w.Router.Process(seed, 0, now); got != packet.ClassRegular {
 				panic("overlay: workload seed not accepted: " + got.String())
 			}
@@ -284,4 +290,107 @@ func MeasureForwarding(w *Workload, inputPPS int, dur time.Duration) (outputPPS 
 	<-done
 	elapsed := time.Since(start).Seconds()
 	return float64(forwarded) / elapsed
+}
+
+// BatchSizes are the burst widths of the batched-forwarding series
+// (the fig12_batch section of BENCH_*.json snapshots).
+var BatchSizes = []int{1, 8, 32, 128}
+
+// MeasureForwardingBatch measures the production overlay data path end
+// to end over real UDP on loopback: a driver socket offers workload
+// packets to a full overlay.Router built with RouterConfig.Batch set
+// to batchSize, routed straight back to the driver. batchSize 1 runs
+// the legacy per-datagram path (one read syscall, one scheduler
+// crossing, one write syscall, and a cross-goroutine handoff per
+// packet); larger sizes run receiveLoopBatched → enqueueBatch →
+// portLoopBatched with recvmmsg/sendmmsg, so the ratio between sizes
+// is exactly what this batching buys on this machine. The driver keeps
+// a window of batchSize packets in flight (a NIC ring of that depth),
+// refilling as forwarded packets land, and returns the sustained rate
+// in packets/second. A non-nil error means the window stalled (a
+// packet was dropped) and the number is a lower bound; callers retry.
+func MeasureForwardingBatch(w *Workload, batchSize int, dur time.Duration) (outputPPS float64, err error) {
+	r, err := NewRouter(RouterConfig{
+		Listen: "127.0.0.1:0",
+		Core: core.RouterConfig{
+			Suite:         w.suite,
+			CacheEntries:  hitFlows * 2,
+			TrustBoundary: true,
+			// Sharing the workload's authority makes its pregenerated
+			// capabilities (and cache-seeding regulars) valid here.
+			Authority: w.Router.Authority(),
+		},
+		Batch: batchSize,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	dconn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return 0, err
+	}
+	defer dconn.Close()
+	dbc, err := newBatchConn(dconn, batchSize)
+	if err != nil {
+		return 0, err
+	}
+	rAddr := r.Addr()
+	if err := r.AddRoute(packet.Addr(1), dconn.LocalAddr().String()); err != nil {
+		return 0, err
+	}
+	recv := func() (int, error) {
+		dconn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		return dbc.recvBatch()
+	}
+
+	// Warm the router's flow cache so "with entry" kinds hit, exactly
+	// as the workload's own router was seeded at build time.
+	for i := 0; i < len(w.seeds); i += batchSize {
+		end := i + batchSize
+		if end > len(w.seeds) {
+			end = len(w.seeds)
+		}
+		if _, serr := dbc.sendBatch(w.seeds[i:end], rAddr); serr != nil {
+			return 0, serr
+		}
+		for need := end - i; need > 0; {
+			n, rerr := recv()
+			if rerr != nil {
+				return 0, fmt.Errorf("cache seeding stalled: %w", rerr)
+			}
+			need -= n
+		}
+	}
+
+	burst := make([][]byte, batchSize)
+	idx := 0
+	refill := func(k int) error {
+		for i := 0; i < k; i++ {
+			burst[i] = w.pkts[idx]
+			idx++
+			if idx == len(w.pkts) {
+				idx = 0
+			}
+		}
+		_, serr := dbc.sendBatch(burst[:k], rAddr)
+		return serr
+	}
+	var forwarded int64
+	start := time.Now()
+	if err = refill(batchSize); err == nil {
+		for time.Since(start) < dur {
+			n, rerr := recv()
+			if rerr != nil {
+				err = fmt.Errorf("window stalled after %d packets: %w", forwarded, rerr)
+				break
+			}
+			forwarded += int64(n)
+			if err = refill(n); err != nil {
+				break
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(forwarded) / elapsed, err
 }

@@ -1,0 +1,169 @@
+//go:build linux && amd64
+
+// recvmmsg/sendmmsg batched datagram I/O: one syscall moves a whole
+// burst between the socket and the forwarding path. Raw syscall
+// numbers are used (x/net is unavailable here); the build tag pins the
+// ABI this file assumes, and mmsg_fallback.go serves everything else
+// with per-datagram reads.
+package overlay
+
+import (
+	"net"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+const (
+	sysRecvmmsg = 299 // linux/amd64
+	sysSendmmsg = 307 // linux/amd64
+
+	// batchIOSupported reports whether recvBatch can return more than
+	// one datagram per call on this platform.
+	batchIOSupported = true
+)
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// received length. syscall.Msghdr is 56 bytes on linux/amd64, so the
+// trailing pad keeps 8-byte stride alignment across the array.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	len uint32
+	_   uint32
+}
+
+// batchConn owns the scatter-gather state for bursts on one UDP
+// socket: fixed header/iovec arrays sized at the batch cap, reused for
+// every call so the steady state allocates nothing.
+type batchConn struct {
+	rc   syscall.RawConn
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	bufs [][]byte
+}
+
+// newBatchConn prepares burst I/O of up to n datagrams of maxDatagram
+// bytes each on conn.
+func newBatchConn(conn *net.UDPConn, n int) (*batchConn, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	b := &batchConn{
+		rc:   rc,
+		hdrs: make([]mmsghdr, n),
+		iovs: make([]syscall.Iovec, n),
+		bufs: make([][]byte, n),
+	}
+	for i := range b.bufs {
+		b.bufs[i] = make([]byte, maxDatagram)
+	}
+	return b, nil
+}
+
+// recvBatch blocks until at least one datagram is readable, then
+// drains as many as are ready (up to the batch cap) with one recvmmsg.
+// It returns the count; buf(i)/size(i) address the i-th payload.
+func (b *batchConn) recvBatch() (int, error) {
+	for i := range b.hdrs {
+		b.iovs[i] = syscall.Iovec{Base: &b.bufs[i][0], Len: uint64(len(b.bufs[i]))}
+		b.hdrs[i].hdr = syscall.Msghdr{Iov: &b.iovs[i], Iovlen: 1}
+		b.hdrs[i].len = 0
+	}
+	var (
+		n    int
+		serr error
+	)
+	err := b.rc.Read(func(fd uintptr) bool {
+		r1, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&b.hdrs[0])), uintptr(len(b.hdrs)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if errno == syscall.EAGAIN {
+			return false // netpoller waits for readability, then retries
+		}
+		if errno != 0 {
+			serr = os.NewSyscallError("recvmmsg", errno)
+			return true
+		}
+		n = int(r1)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, serr
+}
+
+// buf returns the i-th received payload after recvBatch.
+func (b *batchConn) buf(i int) []byte { return b.bufs[i][:b.hdrs[i].len] }
+
+// sockaddrFor builds the raw sockaddr bytes for a UDP destination.
+func sockaddrFor(to *net.UDPAddr) ([]byte, uint32, error) {
+	if ip4 := to.IP.To4(); ip4 != nil {
+		var sa syscall.RawSockaddrInet4
+		sa.Family = syscall.AF_INET
+		sa.Port = uint16(to.Port>>8) | uint16(to.Port&0xff)<<8 // network byte order
+		copy(sa.Addr[:], ip4)
+		raw := make([]byte, syscall.SizeofSockaddrInet4)
+		copy(raw, (*(*[syscall.SizeofSockaddrInet4]byte)(unsafe.Pointer(&sa)))[:])
+		return raw, syscall.SizeofSockaddrInet4, nil
+	}
+	var sa syscall.RawSockaddrInet6
+	sa.Family = syscall.AF_INET6
+	sa.Port = uint16(to.Port>>8) | uint16(to.Port&0xff)<<8
+	copy(sa.Addr[:], to.IP.To16())
+	raw := make([]byte, syscall.SizeofSockaddrInet6)
+	copy(raw, (*(*[syscall.SizeofSockaddrInet6]byte)(unsafe.Pointer(&sa)))[:])
+	return raw, syscall.SizeofSockaddrInet6, nil
+}
+
+// sendBatch transmits pkts to one destination with as few sendmmsg
+// calls as possible (normally one). All packets of a port burst share
+// the next hop, so a single sockaddr serves every header. It returns
+// how many datagrams were handed to the kernel.
+func (b *batchConn) sendBatch(pkts [][]byte, to *net.UDPAddr) (int, error) {
+	if len(pkts) == 0 {
+		return 0, nil
+	}
+	raw, rawLen, err := sockaddrFor(to)
+	if err != nil {
+		return 0, err
+	}
+	name := &raw[0]
+	n := len(pkts)
+	if n > len(b.hdrs) {
+		n = len(b.hdrs)
+	}
+	for i := 0; i < n; i++ {
+		b.iovs[i] = syscall.Iovec{Base: &pkts[i][0], Len: uint64(len(pkts[i]))}
+		b.hdrs[i].hdr = syscall.Msghdr{
+			Name:    name,
+			Namelen: rawLen,
+			Iov:     &b.iovs[i],
+			Iovlen:  1,
+		}
+		b.hdrs[i].len = 0
+	}
+	sent := 0
+	var serr error
+	err = b.rc.Write(func(fd uintptr) bool {
+		for sent < n {
+			r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&b.hdrs[sent])), uintptr(n-sent),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if errno == syscall.EAGAIN {
+				return false // wait for writability, resume where we left off
+			}
+			if errno != 0 {
+				serr = os.NewSyscallError("sendmmsg", errno)
+				return true
+			}
+			sent += int(r1)
+		}
+		return true
+	})
+	if err != nil {
+		return sent, err
+	}
+	return sent, serr
+}

@@ -23,6 +23,7 @@ import (
 
 	"tva/internal/core"
 	"tva/internal/packet"
+	"tva/internal/pathid"
 	"tva/internal/sched"
 	"tva/internal/telemetry"
 	"tva/internal/tvatime"
@@ -44,6 +45,17 @@ type RouterConfig struct {
 	LinkBps int64
 	// RequestFraction is the request-channel share (default 5%).
 	RequestFraction float64
+	// Batch is the socket burst size: how many datagrams one
+	// recvmmsg/sendmmsg crossing may carry (clamped to
+	// packet.DefaultBatchCap). 0 or 1 keeps the per-datagram path. On
+	// platforms without mmsg syscalls reads degenerate to one datagram
+	// per call but the batched forwarding path still runs.
+	Batch int
+	// Shards fans capability processing across this many flow-hashed
+	// workers sharing one authority (see shard.go). 0 or 1 processes
+	// on the receive goroutine. Requires Batch > 1 to matter: the
+	// scatter unit is the receive burst.
+	Shards int
 }
 
 // Router is a userspace TVA capability router.
@@ -52,6 +64,11 @@ type Router struct {
 	core  *core.Router
 	clock tvatime.Clock
 	cfg   RouterConfig
+
+	// rx is the batched socket reader (nil on the per-datagram path);
+	// shards is the flow-hashed processing fan-out (nil unsharded).
+	rx     *batchConn
+	shards *shardEngine
 
 	mu     sync.Mutex
 	routes map[packet.Addr]*port
@@ -67,8 +84,11 @@ type Router struct {
 	// core.Router.HopWait) when stamping hop reports into requests.
 	waitEWMA atomic.Uint32
 
-	// Stats (owned by the receive goroutine).
+	// Stats (owned by the receive goroutine). RxBursts/RxBurstPkts
+	// count socket read bursts and the datagrams they carried; their
+	// ratio is the ingress fill level (RxBurstFill).
 	Received, Forwarded, Unroutable, Malformed uint64
+	RxBursts, RxBurstPkts                      uint64
 }
 
 // port is one neighbour link: an output scheduler paced at the link
@@ -81,6 +101,9 @@ type port struct {
 	q    sched.Scheduler
 
 	Sent, Dropped uint64
+	// TxBursts/TxBurstPkts count egress send bursts and the datagrams
+	// they carried (owned by the port goroutine, read approximately).
+	TxBursts, TxBurstPkts uint64
 }
 
 // NewRouter binds the router's socket and starts its receive loop.
@@ -96,6 +119,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.RequestFraction <= 0 {
 		cfg.RequestFraction = 0.05
 	}
+	if cfg.Batch > packet.DefaultBatchCap {
+		cfg.Batch = packet.DefaultBatchCap
+	}
+	// Shard replicas must share the path-identifier tagger, so pin it
+	// before any router replica is built (core would otherwise mint a
+	// private one per replica and tags would disagree across shards).
+	if cfg.Core.TrustBoundary && cfg.Core.Tagger == nil {
+		cfg.Core.Tagger = pathid.New()
+	}
 	r := &Router{
 		conn:    conn,
 		core:    core.NewRouter(cfg.Core),
@@ -110,9 +142,85 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	// with this router's current queue-wait estimate, which travels back
 	// to the sender in return information (tvaping shows it per hop).
 	r.core.HopWait = r.waitEWMA.Load
+	if cfg.Shards > 1 && cfg.Batch > 1 {
+		sub := cfg.Core
+		sub.Authority = r.core.Authority()
+		r.shards = newShardEngine(cfg.Shards, func() *core.Router {
+			w := core.NewRouter(sub)
+			w.HopWait = r.waitEWMA.Load
+			return w
+		})
+	}
 	r.wg.Add(1)
-	go r.receiveLoop()
+	if cfg.Batch > 1 {
+		rx, err := newBatchConn(conn, cfg.Batch)
+		if err != nil {
+			conn.Close()
+			if r.shards != nil {
+				r.shards.close()
+			}
+			return nil, fmt.Errorf("overlay: batch io: %w", err)
+		}
+		r.rx = rx
+		go r.receiveLoopBatched()
+	} else {
+		go r.receiveLoop()
+	}
 	return r, nil
+}
+
+// RxBurstFill returns the mean datagrams per socket read burst (1.0
+// when unbatched or idle; approaches the batch size under load).
+func (r *Router) RxBurstFill() float64 {
+	if r.RxBursts == 0 {
+		return 0
+	}
+	return float64(r.RxBurstPkts) / float64(r.RxBursts)
+}
+
+// TxBurstFill returns the mean datagrams per send burst across all
+// ports.
+func (r *Router) TxBurstFill() float64 {
+	var bursts, pkts uint64
+	r.mu.Lock()
+	for _, p := range r.ports {
+		bursts += p.TxBursts
+		pkts += p.TxBurstPkts
+	}
+	r.mu.Unlock()
+	if bursts == 0 {
+		return 0
+	}
+	return float64(pkts) / float64(bursts)
+}
+
+// CoreStats aggregates processing outcomes across shard replicas (or
+// returns the single engine's counters when unsharded).
+func (r *Router) CoreStats() core.RouterStats {
+	if r.shards != nil {
+		return r.shards.stats()
+	}
+	return r.core.Stats
+}
+
+// CoreDemotions aggregates demotion attribution across shard replicas.
+func (r *Router) CoreDemotions() telemetry.DropCounters {
+	if r.shards != nil {
+		return r.shards.demotions()
+	}
+	return r.core.Demotions
+}
+
+// FlowCacheEntries sums live flow-cache entries across shard replicas.
+func (r *Router) FlowCacheEntries() int {
+	if r.shards == nil {
+		return r.core.Cache().Len()
+	}
+	n := 0
+	for _, w := range r.shards.workers {
+		n += w.core.Cache().Len()
+	}
+	return n
 }
 
 // QueueWaitMicros returns the router's EWMA output-queue wait in
@@ -162,6 +270,12 @@ func (r *Router) portFor(to *net.UDPAddr) *port {
 	p.cond = sync.NewCond(&p.mu)
 	r.ports[key] = p
 	r.wg.Add(1)
+	if bs, ok := p.q.(sched.BatchScheduler); ok && r.cfg.Batch > 1 {
+		if tx, err := newBatchConn(r.conn, r.cfg.Batch); err == nil {
+			go r.portLoopBatched(p, bs, tx)
+			return p
+		}
+	}
 	go r.portLoop(p)
 	return p
 }
@@ -290,6 +404,11 @@ func (r *Router) Close() error {
 	}
 	r.mu.Unlock()
 	r.wg.Wait()
+	if r.shards != nil {
+		// After wg.Wait the receive goroutine is gone, so no more jobs
+		// can be scattered; the workers can drain and exit.
+		r.shards.close()
+	}
 	return err
 }
 
@@ -337,6 +456,83 @@ func (r *Router) receiveLoop() {
 	}
 }
 
+// receiveLoopBatched is the burst form of receiveLoop: one recvmmsg
+// fills a burst, one ProcessBatch (or a shard scatter) classifies it,
+// and packets leave toward their ports in arrival order with one
+// scheduler crossing per same-port run.
+func (r *Router) receiveLoopBatched() {
+	defer r.wg.Done()
+	run := packet.NewBatch(r.cfg.Batch) // same-port run scratch
+	for {
+		n, err := r.rx.recvBatch()
+		if err != nil {
+			select {
+			case <-r.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		b := packet.AcquireBatch()
+		for i := 0; i < n; i++ {
+			r.Received++
+			pkt := packet.AcquirePacket()
+			if err := pkt.UnmarshalReuse(r.rx.buf(i)); err != nil {
+				r.Malformed++
+				packet.Release(pkt)
+				continue
+			}
+			if pkt.TTL == 0 {
+				packet.Release(pkt)
+				continue
+			}
+			pkt.TTL--
+			b.Append(pkt)
+		}
+		if b.Len() == 0 {
+			packet.ReleaseBatch(b)
+			continue
+		}
+		r.RxBursts++
+		r.RxBurstPkts += uint64(b.Len())
+		now := r.clock.Now()
+		if r.shards != nil {
+			r.shards.process(b, now)
+		} else {
+			r.core.ProcessBatch(b, 0, now)
+		}
+		// Forward in arrival order, flushing maximal same-port runs so
+		// each run costs one port lock and one scheduler batch call.
+		var cur *port
+		for i, pkt := range b.Pkts() {
+			if pkt == nil {
+				continue
+			}
+			out := r.route(pkt.Dst)
+			if out == nil {
+				r.Unroutable++
+				packet.Release(b.Take(i))
+				continue
+			}
+			r.Forwarded++
+			if out != cur {
+				if cur != nil && run.Len() > 0 {
+					cur.enqueueBatch(run, now)
+				}
+				cur = out
+			}
+			run.Append(b.Take(i))
+		}
+		if cur != nil && run.Len() > 0 {
+			cur.enqueueBatch(run, now)
+		}
+		packet.ReleaseBatch(b)
+	}
+}
+
 func (p *port) enqueue(pkt *packet.Packet, now tvatime.Time) {
 	pkt.EnqueuedAt = now
 	p.mu.Lock()
@@ -348,6 +544,127 @@ func (p *port) enqueue(pkt *packet.Packet, now tvatime.Time) {
 	}
 	p.cond.Signal()
 	p.mu.Unlock()
+}
+
+// enqueueBatch admits one same-port run under a single lock
+// acquisition: one BatchScheduler crossing when the port's scheduler
+// supports it, a tight per-packet loop otherwise. The run batch is
+// consumed (reset) either way.
+func (p *port) enqueueBatch(b *packet.Batch, now tvatime.Time) {
+	for _, pkt := range b.Pkts() {
+		if pkt != nil {
+			pkt.EnqueuedAt = now
+		}
+	}
+	p.mu.Lock()
+	if bs, ok := p.q.(sched.BatchScheduler); ok {
+		dropped := 0
+		accepted := bs.EnqueueBatch(b, now, func(pkt *packet.Packet) {
+			dropped++
+			packet.Release(pkt)
+		})
+		p.Dropped += uint64(dropped)
+		if accepted > 0 {
+			p.cond.Signal()
+		}
+		p.mu.Unlock()
+		return
+	}
+	accepted := 0
+	for i, pkt := range b.Pkts() {
+		if pkt == nil {
+			continue
+		}
+		if p.q.Enqueue(pkt, now) {
+			accepted++
+		} else {
+			p.Dropped++
+			packet.Release(pkt)
+		}
+		b.Take(i)
+	}
+	if accepted > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+	b.Reset()
+}
+
+// portLoopBatched drains one neighbour's scheduler a burst at a time:
+// one DequeueBatch under the lock, then marshal and one sendmmsg off
+// it, with pacing applied to the burst's total wire bytes.
+func (r *Router) portLoopBatched(p *port, bs sched.BatchScheduler, tx *batchConn) {
+	defer r.wg.Done()
+	burst := r.cfg.Batch
+	pkts := make([]*packet.Packet, burst)
+	out := make([][]byte, 0, burst)
+	backing := make([][]byte, burst)
+	for i := range backing {
+		backing[i] = make([]byte, 0, 2048)
+	}
+	for {
+		p.mu.Lock()
+		var n int
+		for {
+			select {
+			case <-r.closed:
+				p.mu.Unlock()
+				return
+			default:
+			}
+			var retry tvatime.Time
+			n, retry = bs.DequeueBatch(pkts, r.clock.Now())
+			if n > 0 {
+				break
+			}
+			if retry > 0 {
+				d := time.Duration(retry - r.clock.Now())
+				if d < time.Millisecond {
+					d = time.Millisecond
+				}
+				timer := time.AfterFunc(d, func() {
+					p.mu.Lock()
+					p.cond.Broadcast()
+					p.mu.Unlock()
+				})
+				p.cond.Wait()
+				timer.Stop()
+				continue
+			}
+			p.cond.Wait()
+		}
+		p.mu.Unlock()
+
+		now := r.clock.Now()
+		out = out[:0]
+		wireBytes := 0
+		for i := 0; i < n; i++ {
+			pkt := pkts[i]
+			pkts[i] = nil
+			if pkt.EnqueuedAt > 0 {
+				if w := now.Sub(pkt.EnqueuedAt); w >= 0 {
+					r.observeWait(w)
+				}
+			}
+			data, err := pkt.Marshal(backing[i][:0])
+			packet.Release(pkt)
+			if err != nil {
+				continue
+			}
+			backing[i] = data[:0]
+			out = append(out, data)
+			wireBytes += len(data)
+		}
+		if len(out) > 0 {
+			sent, _ := tx.sendBatch(out, p.to)
+			p.Sent += uint64(sent)
+			p.TxBursts++
+			p.TxBurstPkts += uint64(len(out))
+		}
+		if p.bps > 0 && wireBytes > 0 {
+			time.Sleep(time.Duration(int64(wireBytes) * 8 * int64(time.Second) / p.bps))
+		}
+	}
 }
 
 // portLoop drains one neighbour's scheduler, pacing at the link rate.

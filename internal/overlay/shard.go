@@ -1,0 +1,148 @@
+// Per-flow shard workers: the overlay's answer to multi-queue line
+// cards. A burst read off the socket is scattered across N workers by
+// a hash of the flow key (the same src/dst pair that keys the flow
+// cache, so each flow's soft state lives wholly in one shard), every
+// worker runs the shared capability-processing engine over its slots,
+// and the gather is free: results land in the burst's original slot
+// order, so forwarding stays deterministic and in arrival order no
+// matter how the workers interleave.
+//
+// Shard replicas share one capability.Authority (internally locked)
+// and one pathid.Tagger (immutable after construction), so all shards
+// mint and validate identical capabilities; caches, stats, and
+// demotion counters are per-shard and aggregated on read.
+package overlay
+
+import (
+	"sync"
+
+	"tva/internal/core"
+	"tva/internal/packet"
+	"tva/internal/telemetry"
+	"tva/internal/tvatime"
+)
+
+// shardJob is one worker's slice of a burst: process the batch's
+// slots at idxs and report done.
+type shardJob struct {
+	b    *packet.Batch
+	idxs []int
+	now  tvatime.Time
+	wg   *sync.WaitGroup
+}
+
+type shardWorker struct {
+	core *core.Router
+	in   chan shardJob
+}
+
+// shardEngine scatters bursts across workers and waits for the
+// gather. It is driven by the single receive goroutine; the only
+// concurrency is inside process().
+type shardEngine struct {
+	workers []*shardWorker
+	idxs    [][]int // per-shard slot index scratch, reused per burst
+	wg      sync.WaitGroup
+	run     sync.WaitGroup // worker goroutine lifetime
+}
+
+// flowShard hashes a flow key onto a shard. The mix must depend only
+// on (src, dst) so every packet of a flow — requests, regular, and
+// renewals — meets the same flow cache.
+func flowShard(src, dst packet.Addr, n int) int {
+	h := uint64(src)<<32 | uint64(dst)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(n))
+}
+
+// newShardEngine builds n workers; mk constructs each shard's router
+// replica (the caller wires the shared authority and tagger into it).
+func newShardEngine(n int, mk func() *core.Router) *shardEngine {
+	e := &shardEngine{
+		workers: make([]*shardWorker, n),
+		idxs:    make([][]int, n),
+	}
+	for i := range e.workers {
+		w := &shardWorker{core: mk(), in: make(chan shardJob)}
+		e.workers[i] = w
+		e.run.Add(1)
+		go func() {
+			defer e.run.Done()
+			// scratch borrows slot references for the worker's batched
+			// engine call; Reset (not ReleaseAll) hands them straight
+			// back — the burst batch keeps ownership throughout.
+			scratch := packet.NewBatch(packet.DefaultBatchCap)
+			for job := range w.in {
+				for _, idx := range job.idxs {
+					scratch.Append(job.b.At(idx))
+				}
+				w.core.ProcessBatch(scratch, 0, job.now)
+				for j, idx := range job.idxs {
+					job.b.SetClass(idx, scratch.Class(j))
+				}
+				scratch.Reset()
+				job.wg.Done()
+			}
+		}()
+	}
+	return e
+}
+
+// process classifies every slot of b, exactly as one core.Router
+// ProcessBatch call would, but fanned across the shard workers.
+func (e *shardEngine) process(b *packet.Batch, now tvatime.Time) {
+	for i := range e.idxs {
+		e.idxs[i] = e.idxs[i][:0]
+	}
+	n := len(e.workers)
+	for i, pkt := range b.Pkts() {
+		if pkt == nil {
+			continue
+		}
+		s := flowShard(pkt.Src, pkt.Dst, n)
+		e.idxs[s] = append(e.idxs[s], i)
+	}
+	for s, idxs := range e.idxs {
+		if len(idxs) == 0 {
+			continue
+		}
+		e.wg.Add(1)
+		e.workers[s].in <- shardJob{b: b, idxs: idxs, now: now, wg: &e.wg}
+	}
+	e.wg.Wait()
+}
+
+// close shuts the workers down and waits for them.
+func (e *shardEngine) close() {
+	for _, w := range e.workers {
+		close(w.in)
+	}
+	e.run.Wait()
+}
+
+// stats sums the shard routers' counters.
+func (e *shardEngine) stats() core.RouterStats {
+	var total core.RouterStats
+	for _, w := range e.workers {
+		s := w.core.Stats
+		total.Requests += s.Requests
+		total.RegularHit += s.RegularHit
+		total.RegularMiss += s.RegularMiss
+		total.Renewals += s.Renewals
+		total.Replaced += s.Replaced
+		total.Demoted += s.Demoted
+		total.Legacy += s.Legacy
+	}
+	return total
+}
+
+// demotions merges the shard routers' demotion attribution.
+func (e *shardEngine) demotions() telemetry.DropCounters {
+	var total telemetry.DropCounters
+	for _, w := range e.workers {
+		total.Merge(&w.core.Demotions)
+	}
+	return total
+}

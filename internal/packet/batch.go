@@ -1,0 +1,148 @@
+// Batch: the unit of amortized forwarding. The per-packet data path
+// (one Process call, one scheduler op, one socket syscall per
+// datagram) caps the userspace router well below line rate; a Batch
+// carries a burst of packets through every layer at once so fixed
+// costs — verdict crypto setup, flow-cache probes, scheduler
+// bookkeeping, recvmmsg/sendmmsg syscalls — are paid once per burst.
+//
+// A Batch is pool-backed like Packet itself: AcquireBatch/ReleaseBatch
+// recycle the slot arrays, so batched forwarding stays allocation-free
+// at steady state. Ownership composes with the packet pool's rules
+// (pool.go): appending a pooled packet to a batch hands it to the
+// batch's owner; whoever consumes the batch consumes (or passes on)
+// every slot. ReleaseBatch releases only the batch container — the
+// packets' ownership must already have moved on. ReleaseAll is the
+// terminal-consumer form that releases every remaining packet and then
+// the container.
+package packet
+
+import "sync"
+
+// DefaultBatchCap is the default burst size used by batch-aware
+// drivers when the caller does not choose one. 64 covers a recvmmsg
+// burst on a loaded socket while keeping per-batch buffer memory
+// (64 × ~2 KB) well under the L2 working set.
+const DefaultBatchCap = 64
+
+// Batch is a fixed-capacity burst of packets with per-slot forwarding
+// verdicts. Pkts[:Len()] are the occupied slots; Classes[i] is the
+// class router processing assigned to Pkts[i] (valid after
+// core.Router.ProcessBatch). The zero value is unusable; get one from
+// AcquireBatch or build one with NewBatch.
+type Batch struct {
+	pkts    []*Packet
+	classes []Class
+	pooled  bool
+}
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// NewBatch returns an unpooled batch with the given capacity (for
+// long-lived owners such as a per-worker scratch batch).
+func NewBatch(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = DefaultBatchCap
+	}
+	return &Batch{
+		pkts:    make([]*Packet, 0, capacity),
+		classes: make([]Class, 0, capacity),
+	}
+}
+
+// AcquireBatch returns an empty pooled batch with at least
+// DefaultBatchCap capacity. Release it with ReleaseBatch (container
+// only) or ReleaseAll (container plus remaining packets).
+func AcquireBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.pooled = true
+	if cap(b.pkts) == 0 {
+		b.pkts = make([]*Packet, 0, DefaultBatchCap)
+		b.classes = make([]Class, 0, DefaultBatchCap)
+	}
+	return b
+}
+
+// ReleaseBatch returns the batch container to the pool. The packets in
+// its slots are NOT released — their ownership must already have moved
+// on (enqueued, transmitted, or released individually). No-op for nil
+// and for unpooled batches.
+func ReleaseBatch(b *Batch) {
+	if b == nil || !b.pooled {
+		return
+	}
+	b.Reset()
+	b.pooled = false
+	batchPool.Put(b)
+}
+
+// ReleaseAll releases every remaining packet in the batch and then the
+// container itself: the terminal-consumer form of ReleaseBatch.
+func (b *Batch) ReleaseAll() {
+	for i, pkt := range b.pkts {
+		Release(pkt)
+		b.pkts[i] = nil
+	}
+	b.pkts = b.pkts[:0]
+	b.classes = b.classes[:0]
+	ReleaseBatch(b)
+}
+
+// Len returns the number of occupied slots.
+func (b *Batch) Len() int { return len(b.pkts) }
+
+// Cap returns the slot capacity.
+func (b *Batch) Cap() int { return cap(b.pkts) }
+
+// Full reports whether the batch has reached its capacity.
+func (b *Batch) Full() bool { return len(b.pkts) == cap(b.pkts) }
+
+// Append adds pkt to the next slot, taking ownership of it. It grows
+// the batch beyond its capacity only for unpooled batches; pooled
+// batches keep their fixed footprint (callers check Full and flush).
+//
+//tva:hotpath
+func (b *Batch) Append(pkt *Packet) {
+	b.pkts = append(b.pkts, pkt)
+	b.classes = append(b.classes, ClassLegacy)
+}
+
+// At returns the packet in slot i.
+//
+//tva:hotpath
+func (b *Batch) At(i int) *Packet { return b.pkts[i] }
+
+// Class returns the forwarding class assigned to slot i.
+//
+//tva:hotpath
+func (b *Batch) Class(i int) Class { return b.classes[i] }
+
+// SetClass records slot i's forwarding verdict.
+//
+//tva:hotpath
+func (b *Batch) SetClass(i int, c Class) { b.classes[i] = c }
+
+// Take removes and returns the packet in slot i, leaving the slot nil
+// so a later ReleaseAll does not double-release it. Len is unchanged.
+//
+//tva:hotpath
+func (b *Batch) Take(i int) *Packet {
+	pkt := b.pkts[i]
+	b.pkts[i] = nil
+	return pkt
+}
+
+// Pkts exposes the occupied slots (read-only by convention; slots may
+// be nil after Take).
+//
+//tva:hotpath
+func (b *Batch) Pkts() []*Packet { return b.pkts }
+
+// Reset clears all slots (dropping references for GC) without
+// releasing the packets; the caller owns any it did not pass on.
+func (b *Batch) Reset() {
+	for i := range b.pkts {
+		b.pkts[i] = nil
+	}
+	b.pkts = b.pkts[:0]
+	b.classes = b.classes[:0]
+}

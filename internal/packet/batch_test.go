@@ -1,0 +1,101 @@
+package packet
+
+import "testing"
+
+func TestBatchAppendTakeReset(t *testing.T) {
+	b := NewBatch(4)
+	if b.Len() != 0 || b.Cap() != 4 || b.Full() {
+		t.Fatalf("fresh batch: len=%d cap=%d full=%v", b.Len(), b.Cap(), b.Full())
+	}
+	p1, p2 := &Packet{Src: 1}, &Packet{Src: 2}
+	b.Append(p1)
+	b.Append(p2)
+	if b.Len() != 2 {
+		t.Fatalf("len after two appends = %d", b.Len())
+	}
+	b.SetClass(1, ClassRegular)
+	if b.Class(0) != ClassLegacy || b.Class(1) != ClassRegular {
+		t.Fatalf("classes = %v %v", b.Class(0), b.Class(1))
+	}
+	if b.At(0) != p1 {
+		t.Fatal("At(0) != p1")
+	}
+	if got := b.Take(0); got != p1 {
+		t.Fatal("Take(0) != p1")
+	}
+	if b.At(0) != nil {
+		t.Fatal("slot not nil after Take")
+	}
+	if b.Len() != 2 {
+		t.Fatal("Take must not change Len")
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestBatchPoolRoundTrip(t *testing.T) {
+	b := AcquireBatch()
+	if b.Cap() < DefaultBatchCap {
+		t.Fatalf("pooled batch cap = %d, want >= %d", b.Cap(), DefaultBatchCap)
+	}
+	b.Append(&Packet{})
+	ReleaseBatch(b)
+	b2 := AcquireBatch()
+	if b2.Len() != 0 {
+		t.Fatal("recycled batch not empty")
+	}
+	ReleaseBatch(b2)
+	// No-ops must be safe.
+	ReleaseBatch(nil)
+	ReleaseBatch(&Batch{})
+}
+
+// TestBatchReleaseAll verifies ReleaseAll returns pooled packets to the
+// packet pool exactly once: Live() drops back to its baseline and
+// slots already taken are skipped.
+func TestBatchReleaseAll(t *testing.T) {
+	base := Live()
+	b := AcquireBatch()
+	for i := 0; i < 3; i++ {
+		b.Append(AcquirePacket())
+	}
+	taken := b.Take(1) // now owned by us, not the batch
+	b.ReleaseAll()
+	if got := Live() - base; got != 1 {
+		t.Fatalf("live after ReleaseAll = %d, want 1 (the taken packet)", got)
+	}
+	Release(taken)
+	if got := Live() - base; got != 0 {
+		t.Fatalf("live after releasing taken = %d, want 0", got)
+	}
+}
+
+// TestBatchSteadyStateNoAllocs pins the pool contract: acquiring,
+// filling, and releasing a batch at steady state allocates nothing.
+func TestBatchSteadyStateNoAllocs(t *testing.T) {
+	pkts := make([]*Packet, DefaultBatchCap)
+	for i := range pkts {
+		pkts[i] = &Packet{}
+	}
+	// Warm the pools.
+	for i := 0; i < 4; i++ {
+		b := AcquireBatch()
+		for _, p := range pkts {
+			b.Append(p)
+		}
+		ReleaseBatch(b)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		b := AcquireBatch()
+		for _, p := range pkts {
+			b.Append(p)
+			b.SetClass(b.Len()-1, ClassRegular)
+		}
+		ReleaseBatch(b)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state batch cycle allocates %.1f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,212 @@
+// Batched scheduler operations: the per-burst forms of Enqueue and
+// Dequeue. Classification decisions, drop attribution, and service
+// order are packet-for-packet identical to the per-packet methods;
+// what amortizes is the fixed machinery around them — queue
+// resolution and ring bookkeeping collapse over same-queue runs
+// (fq.EnqueueBulk/DequeueBulk) and drop counters are merged into the
+// scheduler's telemetry once per burst instead of once per packet.
+package sched
+
+import (
+	"tva/internal/packet"
+	"tva/internal/telemetry"
+	"tva/internal/tvatime"
+)
+
+// batchDrops is the allocation-free drop plumbing shared by the batch
+// schedulers: the closure handed to the fq bulk paths is built once at
+// construction and per-burst state (the burst's drop tally and the
+// caller's onDrop) lives in fields, so EnqueueBatch never allocates.
+type batchDrops struct {
+	burst       telemetry.DropCounters
+	batchOnDrop func(*packet.Packet)
+	dropFn      func(*packet.Packet)
+}
+
+// initBatchDrops builds the persistent drop closure: classify decides
+// the reason, *lastDrop records it (the schedulers' LastDrop
+// contract), the burst tally accumulates it, and the caller's onDrop
+// takes ownership of the refused packet.
+func (b *batchDrops) initBatchDrops(lastDrop *telemetry.DropReason, classify func(*packet.Packet) telemetry.DropReason) {
+	b.dropFn = func(pkt *packet.Packet) {
+		*lastDrop = classify(pkt)
+		b.burst.Inc(*lastDrop)
+		b.batchOnDrop(pkt)
+	}
+}
+
+// beginBurst arms the drop plumbing for one EnqueueBatch call.
+//
+//tva:hotpath
+func (b *batchDrops) beginBurst(onDrop func(*packet.Packet)) {
+	b.burst = telemetry.DropCounters{}
+	b.batchOnDrop = onDrop
+}
+
+// endBurst folds the burst's tally into the scheduler's counters and
+// drops the reference to the caller's closure.
+//
+//tva:hotpath
+func (b *batchDrops) endBurst(total *telemetry.DropCounters) {
+	total.Merge(&b.burst)
+	b.batchOnDrop = nil
+}
+
+// BatchScheduler is implemented by schedulers with amortized burst
+// operations. Both methods run at a single instant (now does not
+// advance mid-burst), which is what makes run-based service order
+// provably identical to the per-packet loop.
+type BatchScheduler interface {
+	// EnqueueBatch enqueues every occupied slot of b in order, with
+	// decisions and drop attribution identical to per-packet Enqueue.
+	// Ownership of every packet leaves the batch: accepted packets
+	// belong to the scheduler, refused ones are handed to onDrop in
+	// order (the caller's drop-accounting + pool-release path; it must
+	// not re-enqueue into b). All slots are cleared. Returns the number
+	// accepted.
+	EnqueueBatch(b *packet.Batch, now tvatime.Time, onDrop func(*packet.Packet)) int
+	// DequeueBatch fills dst with up to len(dst) packets in exactly
+	// the order repeated Dequeue calls would produce. The retry time
+	// is meaningful only when it returns 0 packets (a rate-limited
+	// class is the only backlog), mirroring Dequeue.
+	DequeueBatch(dst []*packet.Packet, now tvatime.Time) (int, tvatime.Time)
+}
+
+// EnqueueBatch implements BatchScheduler.
+//
+//tva:hotpath
+func (s *DropTail) EnqueueBatch(b *packet.Batch, _ tvatime.Time, onDrop func(*packet.Packet)) int {
+	s.beginBurst(onDrop)
+	accepted := s.q.EnqueueBulk(b.Pkts(), s.dropFn)
+	s.endBurst(&s.Drops)
+	b.Reset()
+	return accepted
+}
+
+// DequeueBatch implements BatchScheduler.
+//
+//tva:hotpath
+func (s *DropTail) DequeueBatch(dst []*packet.Packet, _ tvatime.Time) (int, tvatime.Time) {
+	return s.q.DequeueBulk(dst), 0
+}
+
+// EnqueueBatch implements BatchScheduler: the burst is split into
+// maximal runs that share a class and fair-queuing key (path-id tag
+// for requests, destination for regular traffic, the one legacy FIFO
+// for the rest), and each run goes through the fq bulk path.
+//
+//tva:hotpath
+func (s *TVA) EnqueueBatch(b *packet.Batch, _ tvatime.Time, onDrop func(*packet.Packet)) int {
+	s.beginBurst(onDrop)
+	accepted := 0
+	pkts := b.Pkts()
+	for i := 0; i < len(pkts); {
+		pkt := pkts[i]
+		if pkt == nil {
+			i++
+			continue
+		}
+		j := i + 1
+		switch pkt.Class {
+		case packet.ClassRequest:
+			key := requestKey(pkt)
+			for j < len(pkts) && pkts[j] != nil &&
+				pkts[j].Class == packet.ClassRequest && requestKey(pkts[j]) == key {
+				j++
+			}
+			accepted += s.request.EnqueueBulk(key, pkts[i:j], s.reqDropFn)
+		case packet.ClassRegular:
+			for j < len(pkts) && pkts[j] != nil &&
+				pkts[j].Class == packet.ClassRegular && pkts[j].Dst == pkt.Dst {
+				j++
+			}
+			accepted += s.regular.EnqueueBulk(uint64(pkt.Dst), pkts[i:j], s.regDropFn)
+		default:
+			for j < len(pkts) && pkts[j] != nil &&
+				pkts[j].Class != packet.ClassRequest && pkts[j].Class != packet.ClassRegular {
+				j++
+			}
+			accepted += s.legacy.EnqueueBulk(pkts[i:j], s.dropFn)
+		}
+		i = j
+	}
+	s.endBurst(&s.Drops)
+	b.Reset()
+	return accepted
+}
+
+// DequeueBatch implements BatchScheduler: requests while the rate
+// limit allows, then regular runs, then legacy — the order repeated
+// Dequeue calls produce at one instant. (Once the request arm blocks
+// at a given now it stays blocked: the token bucket only refills as
+// time advances and no request can arrive mid-burst, so serving the
+// remaining classes in bulk cannot reorder anything.)
+//
+//tva:hotpath
+func (s *TVA) DequeueBatch(dst []*packet.Packet, now tvatime.Time) (int, tvatime.Time) {
+	n := 0
+	for n < len(dst) {
+		if s.holdover == nil && s.request.Len() > 0 {
+			s.holdover = s.request.Dequeue()
+		}
+		if s.holdover == nil || !s.bucket.Allow(s.holdover.Size, now) {
+			break
+		}
+		dst[n] = s.holdover
+		s.holdover = nil
+		n++
+	}
+	if n < len(dst) {
+		n += s.regular.DequeueBulk(dst[n:])
+	}
+	if n < len(dst) {
+		n += s.legacy.DequeueBulk(dst[n:])
+	}
+	if n == 0 && s.holdover != nil {
+		return 0, s.bucket.When(s.holdover.Size, now)
+	}
+	return n, 0
+}
+
+// EnqueueBatch implements BatchScheduler.
+//
+//tva:hotpath
+func (s *SIFF) EnqueueBatch(b *packet.Batch, _ tvatime.Time, onDrop func(*packet.Packet)) int {
+	s.beginBurst(onDrop)
+	accepted := 0
+	pkts := b.Pkts()
+	for i := 0; i < len(pkts); {
+		pkt := pkts[i]
+		if pkt == nil {
+			i++
+			continue
+		}
+		j := i + 1
+		if pkt.Class == packet.ClassRegular {
+			for j < len(pkts) && pkts[j] != nil && pkts[j].Class == packet.ClassRegular {
+				j++
+			}
+			accepted += s.high.EnqueueBulk(pkts[i:j], s.dropFn)
+		} else {
+			for j < len(pkts) && pkts[j] != nil && pkts[j].Class != packet.ClassRegular {
+				j++
+			}
+			accepted += s.low.EnqueueBulk(pkts[i:j], s.dropFn)
+		}
+		i = j
+	}
+	s.endBurst(&s.Drops)
+	b.Reset()
+	return accepted
+}
+
+// DequeueBatch implements BatchScheduler.
+//
+//tva:hotpath
+func (s *SIFF) DequeueBatch(dst []*packet.Packet, _ tvatime.Time) (int, tvatime.Time) {
+	n := s.high.DequeueBulk(dst)
+	if n < len(dst) {
+		n += s.low.DequeueBulk(dst[n:])
+	}
+	return n, 0
+}

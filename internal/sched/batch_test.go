@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"tva/internal/packet"
+	"tva/internal/tvatime"
+)
+
+// mkWorkload builds a deterministic mixed-class burst: request trains
+// sharing path-id tags, regular trains per destination, legacy and
+// demoted packets, with sizes chosen to overflow the small queues.
+func mkWorkload(rng *rand.Rand, n int) []*packet.Packet {
+	pkts := make([]*packet.Packet, n)
+	for i := range pkts {
+		p := &packet.Packet{Src: packet.Addr(i), Size: 200 + rng.Intn(1300)}
+		switch rng.Intn(4) {
+		case 0:
+			p.Class = packet.ClassRequest
+			p.Hdr = &packet.CapHdr{Kind: packet.KindRequest}
+			p.Hdr.Request.PathIDs = []packet.PathID{packet.PathID(rng.Intn(3))}
+			p.Dst = packet.Addr(100 + rng.Intn(2))
+		case 1:
+			p.Class = packet.ClassRegular
+			p.Dst = packet.Addr(200 + rng.Intn(3))
+		case 2:
+			p.Class = packet.ClassLegacy
+			p.Dst = packet.Addr(300)
+		default:
+			p.Class = packet.ClassLegacy
+			p.Hdr = &packet.CapHdr{Kind: packet.KindRegular, Demoted: true}
+			p.Dst = packet.Addr(301)
+		}
+		pkts[i] = p
+	}
+	return pkts
+}
+
+func clonePkts(pkts []*packet.Packet) []*packet.Packet {
+	out := make([]*packet.Packet, len(pkts))
+	for i, p := range pkts {
+		c := *p
+		if p.Hdr != nil {
+			h := *p.Hdr
+			c.Hdr = &h
+		}
+		out[i] = &c
+	}
+	return out
+}
+
+func samePacket(a, b *packet.Packet) bool {
+	return a.Src == b.Src && a.Dst == b.Dst && a.Size == b.Size && a.Class == b.Class
+}
+
+// testBatchEquivalence drives the same workload through per-packet and
+// batched paths of two identically configured schedulers and requires
+// identical admission, drop attribution, service order, and retry
+// behavior.
+func testBatchEquivalence(t *testing.T, name string, mk func() Scheduler) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	single := mk()
+	batched := mk().(BatchScheduler)
+	now := tvatime.FromSeconds(1)
+
+	for round := 0; round < 40; round++ {
+		work := mkWorkload(rng, 1+rng.Intn(12))
+		mine := clonePkts(work)
+
+		wantAcc := 0
+		var wantDrops []*packet.Packet
+		for _, p := range work {
+			if single.Enqueue(p, now) {
+				wantAcc++
+			} else {
+				wantDrops = append(wantDrops, p)
+			}
+		}
+		b := packet.NewBatch(len(mine))
+		for _, p := range mine {
+			b.Append(p)
+		}
+		var gotDrops []*packet.Packet
+		gotAcc := batched.EnqueueBatch(b, now, func(p *packet.Packet) { gotDrops = append(gotDrops, p) })
+		if b.Len() != 0 {
+			t.Fatalf("%s round %d: batch not cleared after EnqueueBatch", name, round)
+		}
+		if wantAcc != gotAcc || len(wantDrops) != len(gotDrops) {
+			t.Fatalf("%s round %d: accepted %d/%d drops %d/%d", name, round, wantAcc, gotAcc, len(wantDrops), len(gotDrops))
+		}
+		for i := range wantDrops {
+			if !samePacket(wantDrops[i], gotDrops[i]) {
+				t.Fatalf("%s round %d drop %d: %+v vs %+v", name, round, i, wantDrops[i], gotDrops[i])
+			}
+		}
+
+		dst := make([]*packet.Packet, rng.Intn(10))
+		got, gotRetry := batched.DequeueBatch(dst, now)
+		for i := 0; i < got; i++ {
+			want, _ := single.Dequeue(now)
+			if want == nil || !samePacket(want, dst[i]) {
+				t.Fatalf("%s round %d pos %d: batched %+v != single %+v", name, round, i, dst[i], want)
+			}
+		}
+		if got < len(dst) {
+			extra, wantRetry := single.Dequeue(now)
+			if extra != nil {
+				t.Fatalf("%s round %d: batched drained at %d, single still has %+v", name, round, got, extra)
+			}
+			if got == 0 && wantRetry != gotRetry {
+				t.Fatalf("%s round %d: retry %v vs %v", name, round, gotRetry, wantRetry)
+			}
+		}
+		if single.Len() != batched.(Scheduler).Len() {
+			t.Fatalf("%s round %d: Len %d vs %d", name, round, single.Len(), batched.(Scheduler).Len())
+		}
+	}
+
+	sd, bd := single.(ReasonCounter).DropReasons(), batched.(ReasonCounter).DropReasons()
+	if *sd != *bd {
+		t.Fatalf("%s: drop attribution diverges:\n single  %v\n batched %v", name, sd, bd)
+	}
+}
+
+func TestBatchEquivalenceTVA(t *testing.T) {
+	testBatchEquivalence(t, "tva", func() Scheduler {
+		return NewTVA(TVAConfig{
+			LinkBps:           10_000_000,
+			RequestFraction:   0.05,
+			RequestQueueBytes: 4 * 1024,
+			RegularQueueBytes: 8 * 1024,
+			LegacyQueueBytes:  8 * 1024,
+			MaxRequestQueues:  2, // force EnqDropNoQueue on the third tag
+			MaxRegularQueues:  2,
+		})
+	})
+}
+
+func TestBatchEquivalenceDropTail(t *testing.T) {
+	testBatchEquivalence(t, "droptail", func() Scheduler { return NewDropTail(16 * 1024) })
+}
+
+func TestBatchEquivalenceSIFF(t *testing.T) {
+	testBatchEquivalence(t, "siff", func() Scheduler { return NewSIFF(20, 10) })
+}
+
+// TestTVADequeueBatchRetry pins the rate-limit retry contract: a burst
+// of requests beyond the token allowance dequeues partially, and once
+// nothing is serviceable the retry time matches per-packet Dequeue.
+func TestTVADequeueBatchRetry(t *testing.T) {
+	s := NewTVA(TVAConfig{LinkBps: 1_000_000, RequestFraction: 0.01, Quantum: 1500, RequestQueueBytes: 32 * 1024})
+	now := tvatime.FromSeconds(0)
+	b := packet.NewBatch(8)
+	for i := 0; i < 8; i++ {
+		p := &packet.Packet{Src: packet.Addr(i), Dst: 1, Size: 1500, Class: packet.ClassRequest,
+			Hdr: &packet.CapHdr{Kind: packet.KindRequest}}
+		b.Append(p)
+	}
+	if acc := s.EnqueueBatch(b, now, func(p *packet.Packet) { t.Fatalf("unexpected drop %+v", p) }); acc != 8 {
+		t.Fatalf("accepted %d, want 8", acc)
+	}
+	dst := make([]*packet.Packet, 8)
+	n, _ := s.DequeueBatch(dst, now)
+	if n == 0 || n == 8 {
+		t.Fatalf("expected partial dequeue under rate limit, got %d", n)
+	}
+	m, retry := s.DequeueBatch(dst, now)
+	if m != 0 || retry == 0 {
+		t.Fatalf("blocked burst: n=%d retry=%v, want 0 with retry", m, retry)
+	}
+	if retry <= now {
+		t.Fatalf("retry %v not in the future", retry)
+	}
+}

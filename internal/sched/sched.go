@@ -76,17 +76,23 @@ type DropTail struct {
 	// was, since a shared FIFO has no classes of its own).
 	Drops    telemetry.DropCounters
 	lastDrop telemetry.DropReason
+
+	batchDrops
 }
 
 // NewDropTail returns a FIFO scheduler with the given byte capacity.
 func NewDropTail(capBytes int) *DropTail {
-	return &DropTail{q: fq.NewFIFO(capBytes)}
+	s := &DropTail{q: fq.NewFIFO(capBytes)}
+	s.initBatchDrops(&s.lastDrop, queueDropReason)
+	return s
 }
 
 // NewDropTailPkts returns a FIFO scheduler bounded by packet count,
 // matching ns-2's drop-tail queues (uniform per-packet loss).
 func NewDropTailPkts(capPkts int) *DropTail {
-	return &DropTail{q: fq.NewFIFOCount(capPkts)}
+	s := &DropTail{q: fq.NewFIFOCount(capPkts)}
+	s.initBatchDrops(&s.lastDrop, queueDropReason)
+	return s
 }
 
 // Enqueue implements Scheduler.
@@ -200,13 +206,19 @@ type TVA struct {
 	// Drops attributes every dropped packet to a reason.
 	Drops    telemetry.DropCounters
 	lastDrop telemetry.DropReason
+
+	batchDrops
+	// Per-class drop closures for the fq bulk paths, built once here
+	// so EnqueueBatch allocates nothing per burst.
+	reqDropFn func(*packet.Packet, fq.EnqueueResult)
+	regDropFn func(*packet.Packet, fq.EnqueueResult)
 }
 
 // NewTVA returns a TVA link scheduler.
 func NewTVA(cfg TVAConfig) *TVA {
 	cfg.fillDefaults()
 	reqRate := int64(float64(cfg.LinkBps) * cfg.RequestFraction)
-	return &TVA{
+	s := &TVA{
 		cfg:     cfg,
 		request: fq.NewDRR(cfg.RequestQuantum, cfg.MaxRequestQueues, cfg.RequestQueueBytes),
 		regular: fq.NewDRR(cfg.Quantum, cfg.MaxRegularQueues, cfg.RegularQueueBytes),
@@ -215,6 +227,33 @@ func NewTVA(cfg TVAConfig) *TVA {
 		// links too harshly while staying near the configured rate.
 		bucket: fq.NewTokenBucket(reqRate, 3*cfg.Quantum),
 	}
+	s.initBatchDrops(&s.lastDrop, func(pkt *packet.Packet) telemetry.DropReason {
+		if pkt.Hdr != nil && pkt.Hdr.Demoted {
+			return telemetry.DropDemoted
+		}
+		return telemetry.DropLegacyQueueFull
+	})
+	s.reqDropFn = func(p *packet.Packet, _ fq.EnqueueResult) {
+		// Same attribution rule as Enqueue: when a holdover is parked
+		// at the rate limiter, that is what's backing the class up.
+		if s.holdover != nil {
+			s.lastDrop = telemetry.DropRequestRateLimited
+		} else {
+			s.lastDrop = telemetry.DropRequestQueueFull
+		}
+		s.burst.Inc(s.lastDrop)
+		s.batchOnDrop(p)
+	}
+	s.regDropFn = func(p *packet.Packet, res fq.EnqueueResult) {
+		if res == fq.EnqDropNoQueue {
+			s.lastDrop = telemetry.DropFlowCachePressure
+		} else {
+			s.lastDrop = telemetry.DropRegularQueueFull
+		}
+		s.burst.Inc(s.lastDrop)
+		s.batchOnDrop(p)
+	}
+	return s
 }
 
 // requestKey selects the fair-queuing key for a request: the most
@@ -369,6 +408,8 @@ type SIFF struct {
 	// Drops attributes every dropped packet to a reason.
 	Drops    telemetry.DropCounters
 	lastDrop telemetry.DropReason
+
+	batchDrops
 }
 
 // NewSIFF returns a SIFF scheduler with the given per-class packet
@@ -380,7 +421,9 @@ func NewSIFF(highPkts, lowPkts int) *SIFF {
 	if lowPkts <= 0 {
 		lowPkts = 50
 	}
-	return &SIFF{high: fq.NewFIFOCount(highPkts), low: fq.NewFIFOCount(lowPkts)}
+	s := &SIFF{high: fq.NewFIFOCount(highPkts), low: fq.NewFIFOCount(lowPkts)}
+	s.initBatchDrops(&s.lastDrop, queueDropReason)
+	return s
 }
 
 // Enqueue implements Scheduler.

@@ -81,13 +81,15 @@ func (m *Marker) epochAt(now tvatime.Time) int64 {
 	return e
 }
 
-// Mark computes the current-epoch mark for a flow.
+// Mark computes the current-epoch mark for a flow. The MAC runs under
+// the marker's lock because Keyed instances carry scratch state
+// (mac.Keyed).
 func (m *Marker) Mark(src, dst packet.Addr, now tvatime.Time) uint64 {
 	e := m.epochAt(now)
 	m.mu.Lock()
-	k := m.keyed[e&1]
+	v := m.keyed[e&1].MAC56(uint64(src), uint64(dst), 0)
 	m.mu.Unlock()
-	return k.MAC56(uint64(src), uint64(dst), 0)
+	return v
 }
 
 // Check reports whether v is the flow's mark under the current or
@@ -95,11 +97,11 @@ func (m *Marker) Mark(src, dst packet.Addr, now tvatime.Time) uint64 {
 func (m *Marker) Check(src, dst packet.Addr, v uint64, now tvatime.Time) bool {
 	e := m.epochAt(now)
 	m.mu.Lock()
-	cur, prev := m.keyed[e&1], m.keyed[(e-1)&1]
-	m.mu.Unlock()
-	if cur.MAC56(uint64(src), uint64(dst), 0) == v {
+	defer m.mu.Unlock()
+	if m.keyed[e&1].MAC56(uint64(src), uint64(dst), 0) == v {
 		return true
 	}
+	prev := m.keyed[(e-1)&1]
 	return prev != nil && prev.MAC56(uint64(src), uint64(dst), 0) == v
 }
 
