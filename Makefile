@@ -4,7 +4,7 @@ GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # job raises it (make fuzz-smoke FUZZTIME=30s).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race bench bench-guard bench-batch fuzz-smoke cover trace-smoke check
+.PHONY: all build vet lint test race bench bench-guard bench-batch fuzz-smoke cover trace-smoke metrics-smoke check
 
 all: check
 
@@ -73,5 +73,12 @@ trace-smoke:
 	go run ./cmd/tvatrace hops smoke.trace
 	go run ./cmd/tvatrace drops smoke.trace
 	go run ./cmd/tvatrace chrome -o /dev/null smoke.trace
+
+# metrics-smoke boots a real tvarouter, scrapes /metrics with tvatop
+# (strict parse + required shared-name series), then runs the same
+# seeded tvasim flood twice and requires the attack-onset health
+# transitions and the emitted time series to be byte-identical.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 check: build lint test race bench-guard bench-batch

@@ -143,12 +143,19 @@ func measureTable1(suite capability.Suite) []table1Row {
 	rows := make([]table1Row, 0, len(overlay.Kinds))
 	for _, kind := range overlay.Kinds {
 		w := overlay.NewWorkload(kind, suite)
+		// Measure with the streaming-metrics harness attached, exactly
+		// like bench_test.go: the alloc guard then proves the Table 1
+		// rows stay at 0 allocs/op with observability enabled.
+		m := overlay.NewBenchMetrics(w)
 		res := testing.Benchmark(func(b *testing.B) {
 			now := tvatime.WallClock{}.Now()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				w.ForwardOne(now)
+				w.ForwardOneObserved(now, m)
+				if i%overlay.BenchTickEvery == 0 {
+					m.Tick()
+				}
 			}
 		})
 		rows = append(rows, table1Row{

@@ -5,16 +5,20 @@
 //	tvarouter -listen 127.0.0.1:7000 \
 //	    -route 10.0.0.1=127.0.0.1:7001 \
 //	    -route 10.0.0.2=127.0.0.2:7002 \
-//	    -rate 10000000
+//	    -rate 10000000 \
+//	    -metrics 127.0.0.1:9100
 //
 // Routes map TVA addresses to next-hop UDP addresses (another router
-// or a tvaping/overlay host proxy).
+// or a tvaping/overlay host proxy). With -metrics the router serves
+// Prometheus text exposition at /metrics (watch it live with tvatop)
+// and logs attack-onset health transitions.
 package main
 
 import (
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -25,9 +29,10 @@ import (
 
 	"tva/internal/capability"
 	"tva/internal/core"
+	"tva/internal/metrics"
 	"tva/internal/overlay"
 	"tva/internal/packet"
-	"tva/internal/telemetry"
+	"tva/internal/tvatime"
 )
 
 type routeList []string
@@ -42,6 +47,9 @@ func main() {
 	fast := flag.Bool("fast-hash", false, "use the fast (non-crypto) hash suite")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 = never)")
 	debugAddr := flag.String("pprof", "", "serve pprof and expvar diagnostics on this address (e.g. 127.0.0.1:6060)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus text exposition at /metrics on this address (e.g. 127.0.0.1:9100)")
+	metricsEvery := flag.Duration("metrics-interval", time.Second, "metrics sampling / health detector tick interval")
+	metricsWindow := flag.Int("metrics-window", 600, "retained metrics rows (ticks)")
 	batch := flag.Int("batch", 1, "datagrams per socket burst (recvmmsg/sendmmsg where available); 1 = per-datagram path")
 	shards := flag.Int("shards", 0, "per-flow worker shards for capability processing (needs -batch > 1; 0/1 = single engine)")
 	var routes routeList
@@ -96,10 +104,43 @@ func main() {
 	fmt.Printf("tvarouter listening on %s (%d routes, suite=%s, batch=%d, shards=%d)\n",
 		r.Addr(), len(routes), suite.Name, *batch, *shards)
 
+	// The registry is built after every route is installed, so each
+	// neighbour port gets its labelled series; it is the single source
+	// of truth behind /metrics, /debug/vars, and the health engine.
+	m := r.Metrics(*metricsWindow, metrics.DetectorConfig{})
+	m.Health.OnTransition = func(tr metrics.Transition) {
+		fmt.Printf("health: %s\n", tr)
+	}
+	m.Tick(tvatime.WallClock{}.Now()) // seal + first row before anything scrapes
+	go func() {
+		for range time.Tick(*metricsEvery) {
+			m.Tick(tvatime.WallClock{}.Now())
+		}
+	}()
+
+	// /metrics on the default mux too, so -pprof alone also exposes it.
+	http.Handle("/metrics", metrics.Handler(m.Registry))
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(m.Registry))
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+			}
+		}()
+		// The resolved address (not the flag) so :0 works in scripts.
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
+
 	if *debugAddr != "" {
 		// /debug/pprof (profiles) and /debug/vars (expvar) on the
 		// default mux; both packages register themselves on import.
-		expvar.Publish("tva", expvar.Func(func() any { return diagnostics(r) }))
+		expvar.Publish("tva", expvar.Func(func() any { return diagnostics(m) }))
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "pprof:", err)
@@ -111,8 +152,9 @@ func main() {
 	if *stats > 0 {
 		go func() {
 			for range time.Tick(*stats) {
-				fmt.Printf("stats: received=%d forwarded=%d unroutable=%d malformed=%d\n",
-					r.Received, r.Forwarded, r.Unroutable, r.Malformed)
+				fmt.Printf("stats: received=%d forwarded=%d unroutable=%d malformed=%d health=%s\n",
+					r.Received.Load(), r.Forwarded.Load(), r.Unroutable.Load(),
+					r.Malformed.Load(), m.Health.State())
 			}
 		}()
 	}
@@ -123,56 +165,89 @@ func main() {
 	fmt.Println("shutting down")
 }
 
-// diagnostics snapshots the router's counters for /debug/vars:
-// forwarding totals, reason-attributed scheduler drops, demotion
-// causes, flow-cache occupancy, the hop-wait estimate, burst fill
-// levels of the batched data path, and one structured gauge block per
-// neighbour port (the same gauges the simulator's sampler records:
-// per-class backlogs, live fair queues, and the request channel's
-// token level). The demotion and cache numbers go through the
-// shard-aware accessors, so they aggregate the per-flow workers when
-// -shards is on.
-func diagnostics(r *overlay.Router) map[string]any {
-	schedDrops := r.SchedDrops()
-	coreDem := r.CoreDemotions()
-	drops := make(map[string]uint64, telemetry.NumDropReasons)
-	demotions := make(map[string]uint64, telemetry.NumDropReasons)
-	for i := 0; i < telemetry.NumDropReasons; i++ {
-		reason := telemetry.DropReason(i)
-		if n := schedDrops.Get(reason); n > 0 {
-			drops[reason.String()] = n
+// diagnostics renders the legacy /debug/vars block by re-reading the
+// metrics registry — the expvar names survive as aliases, but every
+// value now has exactly one source of truth, so /metrics and
+// /debug/vars can never disagree. The shape matches the pre-metrics
+// output: forwarding totals, reason-attributed scheduler drops,
+// demotion causes, flow-cache occupancy, the hop-wait estimate, burst
+// fill levels, and one structured gauge block per neighbour port.
+func diagnostics(m *overlay.RouterMetrics) map[string]any {
+	out := map[string]any{}
+	drops := map[string]uint64{}
+	demotions := map[string]uint64{}
+	portBlocks := map[string]map[string]any{}
+	var portOrder []string
+	portFor := func(name string) map[string]any {
+		blk, ok := portBlocks[name]
+		if !ok {
+			blk = map[string]any{"neighbor": name}
+			portBlocks[name] = blk
+			portOrder = append(portOrder, name)
 		}
-		if n := coreDem.Get(reason); n > 0 {
-			demotions[reason.String()] = n
+		return blk
+	}
+	var dropsTotal uint64
+	m.Registry.Each(func(s metrics.SeriesView) {
+		switch s.Name {
+		case "tva_router_received_total":
+			out["received"] = uint64(s.Value)
+		case "tva_router_forwarded_total":
+			out["forwarded"] = uint64(s.Value)
+		case "tva_router_unroutable_total":
+			out["unroutable"] = uint64(s.Value)
+		case "tva_router_malformed_total":
+			out["malformed"] = uint64(s.Value)
+		case "tva_sched_drops_total":
+			dropsTotal += uint64(s.Value)
+			if s.Value > 0 {
+				drops[label(s, "reason")] = uint64(s.Value)
+			}
+		case "tva_demotions_total":
+			if s.Value > 0 {
+				demotions[label(s, "reason")] = uint64(s.Value)
+			}
+		case "tva_flowcache_entries":
+			out["flowcache_entries"] = int(s.Value)
+		case "tva_queue_wait_ewma_us":
+			out["queue_wait_us"] = uint32(s.Value)
+		case "tva_rx_burst_fill":
+			out["rx_burst_fill"] = s.Value
+		case "tva_tx_burst_fill":
+			out["tx_burst_fill"] = s.Value
+		case "tva_queue_pkts":
+			blk := portFor(label(s, "port"))
+			blk["queue_"+label(s, "class")+"_pkts"] = int(s.Value)
+		case "tva_regular_queues":
+			portFor(label(s, "port"))["regular_queues"] = int(s.Value)
+		case "tva_token_bucket_bytes":
+			portFor(label(s, "port"))["token_bucket_bytes"] = s.Value
+		case "tva_port_sent_pkts_total":
+			portFor(label(s, "port"))["sent_pkts"] = uint64(s.Value)
+		case "tva_port_dropped_pkts_total":
+			portFor(label(s, "port"))["dropped_pkts"] = uint64(s.Value)
+		case "tva_health_state":
+			out["health"] = metrics.State(s.Value).String()
+		}
+	})
+	out["sched_drops"] = drops
+	out["sched_drops_total"] = dropsTotal
+	out["demotions"] = demotions
+	ports := make([]map[string]any, 0, len(portOrder))
+	for _, name := range portOrder {
+		ports = append(ports, portBlocks[name])
+	}
+	out["ports"] = ports
+	return out
+}
+
+func label(s metrics.SeriesView, key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
 		}
 	}
-	ports := make([]map[string]any, 0, 4)
-	for _, g := range r.Gauges() {
-		ports = append(ports, map[string]any{
-			"neighbor":           g.Neighbor,
-			"queue_request_pkts": g.RequestPkts,
-			"queue_regular_pkts": g.RegularPkts,
-			"queue_legacy_pkts":  g.LegacyPkts,
-			"regular_queues":     g.RegularQueues,
-			"token_bucket_bytes": g.TokenBytes,
-			"sent_pkts":          g.Sent,
-			"dropped_pkts":       g.Dropped,
-		})
-	}
-	return map[string]any{
-		"received":          r.Received,
-		"forwarded":         r.Forwarded,
-		"unroutable":        r.Unroutable,
-		"malformed":         r.Malformed,
-		"sched_drops":       drops,
-		"sched_drops_total": schedDrops.Total(),
-		"demotions":         demotions,
-		"flowcache_entries": r.FlowCacheEntries(),
-		"queue_wait_us":     r.QueueWaitMicros(),
-		"rx_burst_fill":     r.RxBurstFill(),
-		"tx_burst_fill":     r.TxBurstFill(),
-		"ports":             ports,
-	}
+	return ""
 }
 
 func parseAddr(s string) (packet.Addr, error) {

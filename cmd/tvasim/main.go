@@ -13,11 +13,16 @@
 //
 // With -metrics FILE (and/or -trace N) tvasim instead runs one
 // instrumented simulation — the first scheme in -schemes at the
-// largest attacker count — and writes the gauge time series sampled
-// every -metrics-interval of virtual time to FILE (.csv by extension,
-// JSON otherwise), along with a drop-attribution summary:
+// largest attacker count — and writes the streaming metrics registry
+// sampled every -metrics-interval of virtual time to FILE (.csv by
+// extension, JSON otherwise), along with a drop-attribution summary
+// and the attack-onset health transition log. The registry carries
+// the same series names tvarouter serves at /metrics, so offline
+// tooling reads both data planes identically; -prom FILE additionally
+// writes the final Prometheus text-exposition snapshot:
 //
 //	tvasim -fig 8 -schemes tva -metrics out.json
+//	tvasim -fig 8 -schemes tva -metrics out.csv -prom out.prom
 //	tvasim -fig 8 -schemes tva -trace 20
 //
 // With -tracefile FILE, the instrumented run also attaches the span
@@ -68,8 +73,9 @@ func main() {
 	durationSec := flag.Float64("duration", 120, "simulated seconds per run")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS); results are identical at any worker count")
-	metricsOut := flag.String("metrics", "", "run one instrumented simulation and write its gauge time series to this file (.csv or .json)")
-	metricsIntervalMs := flag.Float64("metrics-interval", 100, "sampler interval in virtual milliseconds (with -metrics)")
+	metricsOut := flag.String("metrics", "", "run one instrumented simulation and write its metrics time series to this file (.csv or .json)")
+	promOut := flag.String("prom", "", "with an instrumented run, write the final Prometheus text-exposition snapshot to this file")
+	metricsIntervalMs := flag.Float64("metrics-interval", 100, "metrics/health tick interval in virtual milliseconds (with -metrics)")
 	traceN := flag.Int("trace", 0, "with an instrumented run, print the last N per-packet trace events")
 	traceFile := flag.String("tracefile", "", "run one instrumented simulation with the span flight recorder on and write the binary dump here (query with tvatrace)")
 	traceSpans := flag.Int("trace-spans", 0, "flight-recorder capacity in spans (0 = default with -tracefile, off otherwise)")
@@ -106,13 +112,13 @@ func main() {
 		figs = []string{"8", "9", "10", "11"}
 	}
 
-	if *metricsOut != "" || *traceN > 0 || *traceFile != "" || *traceSpans > 0 {
+	if *metricsOut != "" || *promOut != "" || *traceN > 0 || *traceFile != "" || *traceSpans > 0 {
 		if len(figs) != 1 {
-			fmt.Fprintln(os.Stderr, "-metrics/-trace/-tracefile need a single -fig (8, 9, 10 or 11)")
+			fmt.Fprintln(os.Stderr, "-metrics/-prom/-trace/-tracefile need a single -fig (8, 9, 10 or 11)")
 			os.Exit(2)
 		}
 		if err := instrumentedRun(figs[0], schemes, counts, dur, *seed,
-			*metricsOut, *metricsIntervalMs, *traceN,
+			*metricsOut, *promOut, *metricsIntervalMs, *traceN,
 			*traceFile, *traceSpans, *stormPkts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -152,11 +158,12 @@ func figAttack(fig string) (exp.Attack, error) {
 	return 0, fmt.Errorf("unknown figure %q", fig)
 }
 
-// instrumentedRun executes one simulation with the sampler (and
-// optionally the tracer) on, writes the time series, and prints the
-// drop-attribution summary. It verifies the accounting invariant: the
-// per-reason drop counters must sum to the bottleneck's drop total.
-func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime.Duration, seed int64, out string, intervalMs float64, traceN int, traceFile string, traceSpans, stormPkts int) error {
+// instrumentedRun executes one simulation with the metrics registry
+// (and optionally the tracer) on, writes the time series, and prints
+// the drop-attribution summary plus the health transition log. It
+// verifies the accounting invariant: the per-reason drop counters
+// must sum to the bottleneck's drop total.
+func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime.Duration, seed int64, out, promOut string, intervalMs float64, traceN int, traceFile string, traceSpans, stormPkts int) error {
 	attack, err := figAttack(fig)
 	if err != nil {
 		return err
@@ -221,6 +228,20 @@ func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime
 		}
 	}
 	fmt.Printf("host egress drops (silent loss before routers): %d\n", tel.HostEgressDrops)
+
+	// The attack-onset health timeline. Transition lines are fully
+	// deterministic (virtual-time detector over seeded traffic), so two
+	// same-seed runs print byte-identical logs — metrics-smoke diffs
+	// them.
+	if tel.Health != nil {
+		for _, tr := range tel.Health.Transitions() {
+			fmt.Printf("health: %s\n", tr)
+		}
+		if n := tel.Health.Overflow(); n > 0 {
+			fmt.Printf("health: %d further transitions dropped (log cap)\n", n)
+		}
+		fmt.Printf("health final state: %s\n", tel.Health.State())
+	}
 	fmt.Printf("queue delay p50=%.3fms p99=%.3fms  e2e p50=%.3fms p99=%.3fms\n",
 		tel.QueueDelay.Quantile(0.5).Seconds()*1e3, tel.QueueDelay.Quantile(0.99).Seconds()*1e3,
 		tel.Delivery.Quantile(0.5).Seconds()*1e3, tel.Delivery.Quantile(0.99).Seconds()*1e3)
@@ -260,21 +281,32 @@ func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime
 		return invariantErr
 	}
 
-	if out != "" && tel.Sampler != nil {
+	if out != "" && tel.Metrics != nil {
 		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		if strings.HasSuffix(out, ".csv") {
-			err = tel.Sampler.WriteCSV(f)
+			err = tel.Metrics.WriteCSV(f)
 		} else {
-			err = tel.Sampler.WriteJSON(f)
+			err = tel.Metrics.WriteJSON(f)
 		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d samples x %d gauges to %s\n", tel.Sampler.Len(), len(tel.Sampler.Names()), out)
+		fmt.Printf("wrote %d rows x %d series to %s\n", tel.Metrics.Len(), tel.Metrics.NumSeries(), out)
+	}
+	if promOut != "" && tel.Metrics != nil {
+		f, err := os.Create(promOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tel.Metrics.WritePrometheus(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote final exposition snapshot to %s\n", promOut)
 	}
 	if traceN > 0 && tel.Trace != nil {
 		fmt.Printf("last %d of %d trace events:\n", tel.Trace.Len(), tel.Trace.Total())

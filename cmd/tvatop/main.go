@@ -1,0 +1,265 @@
+// Command tvatop is a live terminal console for TVA routers: it polls
+// one or more /metrics endpoints (tvarouter's exposition, or a file
+// written by tvasim -prom) and renders per-interface throughput,
+// queue occupancy and waits, request-channel token levels, the
+// drop-reason mix, burst fill, and the attack-onset health state.
+//
+//	tvatop http://127.0.0.1:9100/metrics
+//	tvatop -interval 2s http://r1:9100/metrics http://r2:9100/metrics
+//	tvatop -once -require tva_health_state,tva_sched_drops_total URL
+//
+// With -once it scrapes each target a single time and prints one
+// plain-text snapshot — no ANSI, no wall-clock text — so the output
+// is a deterministic function of the scraped bytes (scripts diff it).
+// -require lists series names that must be present in every target's
+// exposition; a missing one is a non-zero exit. The parser is strict:
+// malformed exposition is an error, never a shrug.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"tva/internal/metrics"
+)
+
+func main() {
+	interval := flag.Duration("interval", time.Second, "poll interval in live mode")
+	once := flag.Bool("once", false, "scrape once, print a plain snapshot, exit")
+	require := flag.String("require", "", "comma-separated series names that must be present in every target")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-scrape HTTP timeout")
+	flag.Parse()
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tvatop [-once] [-interval D] [-require a,b] URL...")
+		os.Exit(2)
+	}
+	var required []string
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			required = append(required, name)
+		}
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *once {
+		code := 0
+		for _, url := range targets {
+			sc, err := scrape(client, url)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tvatop: %s: %v\n", url, err)
+				code = 1
+				continue
+			}
+			if missing := missingSeries(sc, required); len(missing) > 0 {
+				fmt.Fprintf(os.Stderr, "tvatop: %s: missing required series: %s\n",
+					url, strings.Join(missing, ", "))
+				code = 1
+			}
+			render(os.Stdout, url, sc)
+		}
+		os.Exit(code)
+	}
+
+	for {
+		var b strings.Builder
+		b.WriteString("\x1b[2J\x1b[H") // clear + home
+		for _, url := range targets {
+			sc, err := scrape(client, url)
+			if err != nil {
+				fmt.Fprintf(&b, "== %s\n  scrape error: %v\n\n", url, err)
+				continue
+			}
+			render(&b, url, sc)
+		}
+		fmt.Fprintf(&b, "-- %s  every %s  q to quit (ctrl-c)\n",
+			time.Now().Format("15:04:05"), interval)
+		os.Stdout.WriteString(b.String())
+		time.Sleep(*interval)
+	}
+}
+
+// scrape fetches and strictly parses one exposition endpoint.
+func scrape(client *http.Client, url string) (*metrics.Scrape, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("HTTP %s", resp.Status)
+	}
+	return metrics.ParseProm(resp.Body)
+}
+
+func missingSeries(sc *metrics.Scrape, required []string) []string {
+	var missing []string
+	for _, name := range required {
+		if !sc.Has(name) {
+			missing = append(missing, name)
+		}
+	}
+	return missing
+}
+
+// value returns the first sample of name, or 0.
+func value(sc *metrics.Scrape, name string) float64 {
+	if s, ok := sc.Get(name); ok {
+		return s.Value
+	}
+	return 0
+}
+
+// render writes one target's console block: health, forwarding rates,
+// per-port queue state, waits, the drop mix, and burst fill. Every
+// section iterates samples in sorted-ID order, so the block is a
+// deterministic function of the scrape.
+func render(w io.Writer, url string, sc *metrics.Scrape) {
+	fmt.Fprintf(w, "== %s\n", url)
+
+	// Health line.
+	if sc.Has("tva_health_state") {
+		state := metrics.State(value(sc, "tva_health_state"))
+		fmt.Fprintf(w, "  health %-12s transitions %.0f\n",
+			state, value(sc, "tva_health_transitions_total"))
+	}
+
+	// Forwarding / goodput rates (overlay names first, sim fallback).
+	if sc.Has("tva_router_received_total") {
+		fmt.Fprintf(w, "  rx %spps  fwd %spps  received %.0f  forwarded %.0f  unroutable %.0f  malformed %.0f\n",
+			rate(sc, "tva_router_received_total"), rate(sc, "tva_router_forwarded_total"),
+			value(sc, "tva_router_received_total"), value(sc, "tva_router_forwarded_total"),
+			value(sc, "tva_router_unroutable_total"), value(sc, "tva_router_malformed_total"))
+	}
+	if sc.Has("tva_goodput_bytes_total") {
+		fmt.Fprintf(w, "  goodput %sBps  total %.0f bytes\n",
+			rate(sc, "tva_goodput_bytes_total"), value(sc, "tva_goodput_bytes_total"))
+	}
+	if sc.Has("tva_legit_completion_fraction") {
+		fmt.Fprintf(w, "  legit completion %5.1f%%  %s\n",
+			100*value(sc, "tva_legit_completion_fraction"),
+			bar(value(sc, "tva_legit_completion_fraction"), 20))
+	}
+
+	// Queue occupancy by port and class.
+	if samples := sorted(sc.Select("tva_queue_pkts")); len(samples) > 0 {
+		fmt.Fprintf(w, "  queues:\n")
+		for _, s := range samples {
+			name := s.Label("class")
+			if p := s.Label("port"); p != "" {
+				name = p + "/" + name
+			}
+			fmt.Fprintf(w, "    %-28s %6.0f pkts\n", name, s.Value)
+		}
+	}
+	for _, s := range sorted(sc.Select("tva_regular_queues")) {
+		fmt.Fprintf(w, "  fair queues %-18s %6.0f\n", s.Label("port"), s.Value)
+	}
+	for _, s := range sorted(sc.Select("tva_token_bucket_bytes")) {
+		fmt.Fprintf(w, "  req tokens  %-18s %8.0f B\n", s.Label("port"), s.Value)
+	}
+
+	// Queue waits: the EWMA hop estimate plus sketch quantiles.
+	if sc.Has("tva_queue_wait_ewma_us") {
+		fmt.Fprintf(w, "  queue wait ewma %.0fus\n", value(sc, "tva_queue_wait_ewma_us"))
+	}
+	for _, s := range sorted(sc.Select("tva_queue_wait_ns")) {
+		fmt.Fprintf(w, "  queue wait %-5s %10.0fns\n", percentile(s.Label("q")), s.Value)
+	}
+
+	// Drop-reason mix with live rates, non-zero reasons only.
+	if drops := sorted(sc.Select("tva_sched_drops_total")); len(drops) > 0 {
+		var total float64
+		for _, s := range drops {
+			total += s.Value
+		}
+		if total > 0 {
+			fmt.Fprintf(w, "  drops %.0f total:\n", total)
+			for _, s := range drops {
+				if s.Value == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "    %-24s %10.0f  %spps  %s\n",
+					s.Label("reason"), s.Value,
+					rateFor(sc, "tva_sched_drops_total:rate", s),
+					bar(s.Value/total, 20))
+			}
+		}
+	}
+
+	// Burst fill (batching efficiency).
+	for _, name := range []string{"tva_rx_burst_fill", "tva_tx_burst_fill"} {
+		if sc.Has(name) {
+			fmt.Fprintf(w, "  %s %.2f\n", strings.TrimPrefix(strings.TrimSuffix(name, "_burst_fill"), "tva_")+" burst fill", value(sc, name))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// rate renders name's synthetic :rate series, or "-" before the
+// source has ticked twice.
+func rate(sc *metrics.Scrape, name string) string {
+	if s, ok := sc.Get(name + ":rate"); ok {
+		return fmt.Sprintf("%.1f ", s.Value)
+	}
+	return "- "
+}
+
+// rateFor finds the :rate sample whose labels match s.
+func rateFor(sc *metrics.Scrape, rateName string, s metrics.Sample) string {
+	for _, r := range sc.Select(rateName) {
+		if labelsEqual(r.Labels, s.Labels) {
+			return fmt.Sprintf("%8.1f ", r.Value)
+		}
+	}
+	return "       - "
+}
+
+func labelsEqual(a, b []metrics.Label) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sorted orders samples by their full series ID for stable output.
+func sorted(samples []metrics.Sample) []metrics.Sample {
+	out := append([]metrics.Sample(nil), samples...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// percentile renders a quantile label ("0.5", "0.99") as "p50"/"p99".
+func percentile(q string) string {
+	f, err := strconv.ParseFloat(q, 64)
+	if err != nil {
+		return "p" + q
+	}
+	return fmt.Sprintf("p%g", 100*f)
+}
+
+// bar renders fraction f as a fixed-width meter.
+func bar(f float64, width int) string {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	n := int(f*float64(width) + 0.5)
+	return "[" + strings.Repeat("#", n) + strings.Repeat(".", width-n) + "]"
+}

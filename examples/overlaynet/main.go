@@ -82,5 +82,5 @@ func main() {
 	st := alice.Stats()
 	fmt.Printf("\nalice shim: requests=%d grants=%d regular=%d nonce-only=%d\n",
 		st.RequestsSent, st.GrantsReceived, st.RegularSent, st.NonceOnlySent)
-	fmt.Printf("router: received=%d forwarded=%d\n", router.Received, router.Forwarded)
+	fmt.Printf("router: received=%d forwarded=%d\n", router.Received.Load(), router.Forwarded.Load())
 }

@@ -48,10 +48,11 @@ type builder struct {
 	taggerSeed  uint64
 	stops       []func() // periodic-ticker stops to run after the sim
 
-	hostEgs     []sched.Scheduler // host egress queues (silent-loss audit)
-	tracer      telemetry.Tracer  // nil unless cfg.TraceEvents > 0
-	spans       *trace.Recorder   // nil unless cfg.SpanCapacity > 0
-	finalSample func()            // end-of-run sampler snapshot
+	hostEgs      []sched.Scheduler // host egress queues (silent-loss audit)
+	tracer       telemetry.Tracer  // nil unless cfg.TraceEvents > 0
+	spans        *trace.Recorder   // nil unless cfg.SpanCapacity > 0
+	finalSample  func()            // end-of-run sampler snapshot
+	finalMetrics func()            // end-of-run registry/health tick
 }
 
 // linkSched builds the scheme's output scheduler for a link direction
@@ -306,6 +307,19 @@ func Run(cfg Config) *Result {
 	}
 
 	b.startSampler(&tel, lr)
+	b.startMetrics(&tel, lr, func() float64 {
+		done, decided := 0, 0
+		for _, t := range transfers {
+			decided++
+			if t.Completed {
+				done++
+			}
+		}
+		if decided == 0 {
+			return 1 // no verdicts yet: the SLO starts unviolated
+		}
+		return float64(done) / float64(decided)
+	})
 	b.watchDropStorm(&tel, lr)
 
 	sim.Run(tvatime.Time(cfg.Duration))

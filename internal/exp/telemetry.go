@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"tva/internal/metrics"
 	"tva/internal/netsim"
 	"tva/internal/packet"
 	"tva/internal/sched"
@@ -53,6 +54,19 @@ type RunTelemetry struct {
 	// Sampler holds the virtual-time gauge series; nil unless
 	// Config.MetricsInterval > 0.
 	Sampler *telemetry.Sampler
+
+	// Metrics is the streaming time-series registry, carrying the same
+	// series names the overlay router serves at /metrics (shared-name
+	// contract: tvatop and offline tooling read both data planes
+	// identically). Ticked at MetricsInterval of virtual time; nil
+	// unless Config.MetricsInterval > 0.
+	Metrics *metrics.Registry
+
+	// Health is the attack-onset detector, ticked just before Metrics
+	// each interval so the registry's tva_health_state row reflects the
+	// state after that interval's observation; nil unless metrics are
+	// on. Its transition log is the run's health timeline.
+	Health *metrics.Detector
 
 	// Trace holds the last Config.TraceEvents per-packet events at the
 	// bottleneck and destination; nil unless TraceEvents > 0.
@@ -205,10 +219,174 @@ func (b *builder) startSampler(tel *RunTelemetry, lr *netsim.Iface) {
 	b.finalSample = func() { s.Sample(sim.Now()) }
 }
 
+// startMetrics builds the streaming registry and health detector for
+// the run — the virtual-time twin of overlay.Router.Metrics. Series
+// registration order is fixed (never map iteration), so same-seed
+// runs emit byte-identical CSV/JSON/exposition. completion reports
+// the live fraction of decided legitimate transfers that completed —
+// the run's service-level objective, sampled as
+// tva_legit_completion_fraction.
+func (b *builder) startMetrics(tel *RunTelemetry, lr *netsim.Iface, completion func() float64) {
+	cfg := b.cfg
+	if cfg.MetricsInterval <= 0 {
+		return
+	}
+	window := cfg.MetricsCapacity
+	if window <= 0 {
+		window = int(cfg.Duration/cfg.MetricsInterval) + 2
+		if window > 1<<16 {
+			window = 1 << 16
+		}
+	}
+	reg := metrics.New(window)
+	det := metrics.NewDetector(metrics.DetectorConfig{})
+	tel.Metrics = reg
+	tel.Health = det
+	sim := b.sim
+
+	// Health transitions become trace spans too, so a flight-recorder
+	// dump shows the onset verdicts interleaved with packet lifecycles.
+	if rec := b.spans; rec != nil {
+		det.OnTransition = func(tr metrics.Transition) {
+			rec.Record(trace.Span{
+				Time:  tr.At,
+				Edge:  trace.EdgeHealth,
+				Kind:  uint8(tr.From) + 1,
+				Class: uint8(tr.To),
+			})
+		}
+	}
+
+	// Bottleneck scheduler occupancy (shared names with the overlay's
+	// per-port gauges; the sim plane has one bottleneck, so no port
+	// label).
+	if tva, ok := lr.Sched.(*sched.TVA); ok {
+		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("class", "request"),
+			"Backlogged packets at the forward bottleneck, by class.",
+			func() float64 { return float64(tva.RequestBacklog()) }))
+		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("class", "regular"),
+			"Backlogged packets at the forward bottleneck, by class.",
+			func() float64 { return float64(tva.RegularBacklog()) }))
+		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("class", "legacy"),
+			"Backlogged packets at the forward bottleneck, by class.",
+			func() float64 { return float64(tva.LegacyBacklog()) }))
+		mustReg(reg.Gauge("tva_regular_queues", nil,
+			"Live per-destination fair queues.",
+			func() float64 { return float64(tva.RegularQueues()) }))
+		mustReg(reg.Gauge("tva_token_bucket_bytes", nil,
+			"Request-channel token bucket level in bytes.",
+			func() float64 { return tva.TokenLevel(sim.Now()) }))
+	} else {
+		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("class", "all"),
+			"Backlogged packets at the forward bottleneck.",
+			func() float64 { return float64(lr.Sched.Len()) }))
+	}
+	if len(b.tvaRouters) > 0 {
+		cache := b.tvaRouters[0].Cache()
+		mustReg(reg.Gauge("tva_flowcache_entries", nil,
+			"Live flow-cache entries at the bottleneck router.",
+			func() float64 { return float64(cache.Len()) }))
+	}
+	mustReg(reg.Counter("tva_goodput_bytes_total", nil,
+		"Wire bytes delivered to the destination host.",
+		func() float64 { return float64(tel.GoodputBytes) }))
+
+	// Reason-attributed drops and demotions, same labelled series the
+	// overlay registers.
+	if rc, ok := lr.Sched.(sched.ReasonCounter); ok {
+		drops := rc.DropReasons()
+		for i := int(telemetry.DropNone) + 1; i < telemetry.NumDropReasons; i++ {
+			reason := telemetry.DropReason(i)
+			mustReg(reg.Counter("tva_sched_drops_total", metrics.L("reason", reason.String()),
+				"Packets dropped by the bottleneck scheduler, by attributed reason.",
+				func() float64 { return float64(drops.Get(reason)) }))
+		}
+	}
+	if routers := b.tvaRouters; len(routers) > 0 {
+		for i := int(telemetry.DropNone) + 1; i < telemetry.NumDropReasons; i++ {
+			reason := telemetry.DropReason(i)
+			mustReg(reg.Counter("tva_demotions_total", metrics.L("reason", reason.String()),
+				"Packets demoted to legacy service, by attributed cause.",
+				func() float64 {
+					var t uint64
+					for _, r := range routers {
+						t += r.Demotions.Get(reason)
+					}
+					return float64(t)
+				}))
+		}
+	}
+	rl := lr.Peer
+	mustReg(reg.Counter("tva_link_fault_drops_total", nil,
+		"Physical-layer fault losses on the bottleneck link, both directions.",
+		func() float64 {
+			return float64(lr.FaultDrops.Total() + rl.FaultDrops.Total())
+		}))
+	mustReg(reg.Gauge("tva_tx_burst_fill", nil,
+		"Mean packets per transmit-loop visit.", sim.TxBurstFill))
+
+	// Queue-wait quantiles, streamed per packet from the bottleneck's
+	// transmit path (the sketch hook costs one nil check when unused).
+	sk := new(metrics.Sketch)
+	lr.WaitSketch = sk
+	mustReg(reg.SketchQuantiles("tva_queue_wait_ns", nil,
+		"Forward-bottleneck output-queue wait quantiles in nanoseconds.",
+		sk, 0.5, 0.99))
+
+	// The live SLO and the health series.
+	mustReg(reg.Gauge("tva_legit_completion_fraction", nil,
+		"Fraction of decided legitimate transfers that completed.",
+		completion))
+	mustReg(reg.Gauge("tva_health_state", nil,
+		"Attack-onset health: 0=healthy 1=degraded 2=under-attack 3=recovered.",
+		det.StateValue))
+	mustReg(reg.Counter("tva_health_transitions_total", nil,
+		"Health-state transitions since start.",
+		func() float64 { return float64(len(det.Transitions()) + det.Overflow()) }))
+
+	// Detector inputs: cumulative bottleneck drops and request-channel
+	// backlog pressure.
+	dropsTotal := func() float64 { return float64(lr.Stats.DroppedPkts) }
+	if rc, ok := lr.Sched.(sched.ReasonCounter); ok {
+		drops := rc.DropReasons()
+		dropsTotal = func() float64 { return float64(drops.Total()) }
+	}
+	pressure := func() float64 { return 0 }
+	if tva, ok := lr.Sched.(*sched.TVA); ok {
+		pressure = func() float64 { return float64(tva.RequestBacklog()) }
+	}
+
+	var lastTick tvatime.Time = -1
+	tick := func() {
+		now := sim.Now()
+		if now == lastTick {
+			return // end-of-run sample landing on a periodic tick
+		}
+		lastTick = now
+		det.ObserveTick(now, dropsTotal(), pressure())
+		reg.Tick(now)
+	}
+	stop := sim.Every(cfg.MetricsInterval, tick)
+	b.stops = append(b.stops, stop)
+	b.finalMetrics = tick
+}
+
+// mustReg panics on a registration error: startMetrics registers
+// everything before the registry's first Tick, so an error here is a
+// programming bug (duplicate series), not runtime input.
+func mustReg(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 // finishTelemetry copies end-of-run counter snapshots into tel.
 func (b *builder) finishTelemetry(tel *RunTelemetry, lr *netsim.Iface) {
 	if b.finalSample != nil {
 		b.finalSample()
+	}
+	if b.finalMetrics != nil {
+		b.finalMetrics()
 	}
 	if rc, ok := lr.Sched.(sched.ReasonCounter); ok {
 		tel.SchedDrops = *rc.DropReasons()

@@ -29,7 +29,7 @@ var (
 func loadProg(t *testing.T) *lint.Program {
 	t.Helper()
 	progOnce.Do(func() {
-		prog, progErr = lint.Load("../..", "./internal/telemetry", "./internal/packet")
+		prog, progErr = lint.Load("../..", "./internal/telemetry", "./internal/packet", "./internal/metrics")
 	})
 	if progErr != nil {
 		t.Fatalf("loading module packages: %v", progErr)

@@ -7,9 +7,20 @@ package hotpath
 import (
 	"fmt"
 	"time"
+
+	"tva/internal/metrics"
 )
 
 var sink, src []int
+
+// The streaming-metrics instruments: calling them from Hot makes the
+// analyzer traverse their module bodies, proving Record/Set/Observe
+// are allocation-free entry points (no want comments — no findings).
+var (
+	pktCtr  metrics.Counter
+	level   metrics.Gauge
+	waitSkt metrics.Sketch
+)
 
 type pair struct{ a, b int }
 
@@ -25,6 +36,9 @@ func Hot(n int, buf []byte) []byte {
 	_ = f
 	sink = append(src, n) // want "append into escaping destination"
 	helper(pick(n))
+	pktCtr.Record(1)
+	level.Set(1.5)
+	waitSkt.Observe(int64(n))
 
 	// Allowed idioms: appending into a local slice variable, and the
 	// capacity-recycling self-append (even through a global or field).

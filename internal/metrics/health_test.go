@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"tva/internal/trace"
+	"tva/internal/tvatime"
+)
+
+// TestHealthStateNamesMatchTrace pins the duplicate state-name table
+// in the trace package (kept there so trace need not import metrics)
+// to this package's State strings.
+func TestHealthStateNamesMatchTrace(t *testing.T) {
+	for s := 0; s < NumStates; s++ {
+		if got, want := trace.HealthStateName(uint8(s)), State(s).String(); got != want {
+			t.Errorf("trace.HealthStateName(%d) = %q, metrics says %q", s, got, want)
+		}
+	}
+}
+
+// tickSeq feeds the detector a cumulative-drop series sampled at 1s
+// intervals and returns the transition log.
+func tickSeq(d *Detector, rates []float64) {
+	var cum float64
+	for i, r := range rates {
+		cum += r
+		d.ObserveTick(tvatime.FromSeconds(float64(i+1)), cum, 0)
+	}
+}
+
+func TestDetectorAttackLifecycle(t *testing.T) {
+	d := NewDetector(DetectorConfig{
+		K: 4, MinDropRate: 50, DegradedTicks: 1, OnsetTicks: 3,
+		RecoverTicks: 2, ClearTicks: 2,
+	})
+	var fired []Transition
+	d.OnTransition = func(tr Transition) { fired = append(fired, tr) }
+
+	// Quiet baseline, then a sustained flood, then quiet again.
+	rates := []float64{0, 2, 1, 2, 1, // baseline
+		5000, 5000, 5000, 5000, 5000, // attack
+		1, 0, 1, 0, 1} // recovery
+	tickSeq(d, rates)
+
+	var got []string
+	for _, tr := range d.Transitions() {
+		got = append(got, tr.From.String()+">"+tr.To.String())
+	}
+	want := []string{
+		"healthy>degraded",
+		"degraded>under-attack",
+		"under-attack>recovered",
+		"recovered>healthy",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	if len(fired) != len(d.Transitions()) {
+		t.Fatalf("OnTransition fired %d times, log has %d", len(fired), len(d.Transitions()))
+	}
+	// First hot tick is sample index 5 (0-based): degraded fires
+	// there; under-attack after OnsetTicks more hot ticks.
+	if d.Transitions()[0].Sample != 5 {
+		t.Fatalf("degraded at sample %d, want 5", d.Transitions()[0].Sample)
+	}
+	if d.Transitions()[1].Sample != 8 {
+		t.Fatalf("under-attack at sample %d, want 8", d.Transitions()[1].Sample)
+	}
+	if d.State() != Healthy {
+		t.Fatalf("final state %v, want healthy", d.State())
+	}
+}
+
+func TestDetectorDeterministicReplay(t *testing.T) {
+	run := func() []string {
+		d := NewDetector(DetectorConfig{})
+		rates := []float64{0, 1, 0, 2, 900, 900, 900, 900, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+		tickSeq(d, rates)
+		var out []string
+		for _, tr := range d.Transitions() {
+			out = append(out, tr.String())
+		}
+		return out
+	}
+	a, b := run(), run()
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Fatalf("same input produced different transitions:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("flood produced no transitions")
+	}
+	// The rendered line is what tvasim prints and metrics-smoke diffs.
+	if !strings.Contains(a[0], "sample=") || !strings.Contains(a[0], "drop-rate=") {
+		t.Fatalf("transition line missing fields: %s", a[0])
+	}
+}
+
+func TestDetectorBaselineFrozenDuringAttack(t *testing.T) {
+	d := NewDetector(DetectorConfig{K: 4, MinDropRate: 50, DegradedTicks: 1, OnsetTicks: 2,
+		RecoverTicks: 3, ClearTicks: 3})
+	// Baseline ~10 pps, then a long attack at 10k pps: if the attack
+	// leaked into the baseline the detector would adapt and declare
+	// recovery while the flood still runs.
+	rates := make([]float64, 0, 64)
+	for i := 0; i < 8; i++ {
+		rates = append(rates, 10)
+	}
+	for i := 0; i < 40; i++ {
+		rates = append(rates, 10000)
+	}
+	tickSeq(d, rates)
+	if d.State() != UnderAttack {
+		t.Fatalf("state after sustained flood = %v, want under-attack", d.State())
+	}
+}
+
+func TestDetectorPressureSignal(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinPressure: 32, DegradedTicks: 1, OnsetTicks: 2})
+	// No drops at all, but the request channel backs up: the pressure
+	// signal alone must trip the detector (request floods starve the
+	// channel before they overflow queues).
+	d.ObserveTick(tvatime.FromSeconds(1), 0, 0)
+	d.ObserveTick(tvatime.FromSeconds(2), 0, 100) // hot -> degraded
+	d.ObserveTick(tvatime.FromSeconds(3), 0, 100) // hot ticks count from entry
+	d.ObserveTick(tvatime.FromSeconds(4), 0, 100)
+	if d.State() != UnderAttack {
+		t.Fatalf("state = %v, want under-attack from pressure", d.State())
+	}
+}
+
+func TestDetectorTransitionLogBounded(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinPressure: 1, DegradedTicks: 1, OnsetTicks: 100,
+		RecoverTicks: 1, ClearTicks: 100, MaxTransitions: 4})
+	// Alternate hot/cool ticks to thrash degraded<->recovered.
+	for i := 0; i < 40; i++ {
+		p := float64(i % 2)
+		d.ObserveTick(tvatime.FromSeconds(float64(i)), 0, p)
+	}
+	if len(d.Transitions()) != 4 {
+		t.Fatalf("log len = %d, want cap 4", len(d.Transitions()))
+	}
+	if d.Overflow() == 0 {
+		t.Fatal("expected overflow count after thrash")
+	}
+}
+
+func TestDetectorTickNoAllocs(t *testing.T) {
+	d := NewDetector(DetectorConfig{})
+	var now tvatime.Time
+	var cum float64
+	if n := testing.AllocsPerRun(200, func() {
+		now += tvatime.Time(tvatime.Second)
+		cum += 3
+		d.ObserveTick(now, cum, 1)
+	}); n != 0 {
+		t.Fatalf("ObserveTick allocates %v per run, want 0", n)
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"metric{ 1\n",                        // unterminated label block
+		"metric{a=b} 1\n",                    // unquoted label value
+		"metric 1 2 3\n",                     // trailing junk
+		"metric notanumber\n",                // bad value
+		"# TYPE metric wat\nmetric 1\n",      // unknown type
+		"# TYPE m counter\n# TYPE m gauge\n", // duplicate TYPE
+		"m 1\nm 1\n",                         // duplicate series
+		"{a=\"b\"} 1\n",                      // missing name
+		"m{__name__=\"x\"} 1\n",              // reserved label
+	}
+	for _, in := range bad {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+	ok := "# some comment\nm{a=\"b\",c=\"d\"} 1.5 1700000000\nm2 +Inf\n"
+	sc, err := ParseProm(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("rejected valid exposition: %v", err)
+	}
+	if len(sc.Samples) != 2 || sc.Samples[0].Label("c") != "d" {
+		t.Fatalf("samples = %+v", sc.Samples)
+	}
+}

@@ -1,0 +1,140 @@
+// Package metrics is the streaming observability layer shared by both
+// data planes: a preallocated, windowed time-series store (Registry)
+// fed from the repo's existing telemetry counters and gauges, plus the
+// lock-free instruments (Counter, Gauge, Sketch) that may sit directly
+// on the forwarding hot path. The same series names exist whether the
+// source is the discrete-event simulator (driven by netsim virtual
+// time) or the real-UDP overlay (driven by wall time), which is what
+// makes sim-vs-real comparison and a single tvatop console possible.
+//
+// Everything here is stdlib-only. Recording into an instrument is
+// zero-allocation and safe for concurrent writers; sampling the
+// registry (Tick) is zero-allocation after the first tick seals the
+// series set.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count — packets
+// forwarded, bytes delivered, drops by reason. Writers call Record or
+// Add from any goroutine; the registry samples it as a cumulative
+// total and derives per-second rate and EWMA at tick time.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Record adds n events to the counter. It is a single atomic add —
+// safe on the forwarding hot path.
+//
+//tva:hotpath
+func (c *Counter) Record(n uint64) {
+	c.v.Add(n)
+}
+
+// Add is Record under the name the rest of the repo's counter types
+// use.
+//
+//tva:hotpath
+func (c *Counter) Add(n uint64) {
+	c.v.Add(n)
+}
+
+// Value returns the current cumulative count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level — queue depth, token-bucket fill,
+// burst occupancy. Set stores the latest value; the registry samples
+// whatever is current at tick time.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge's current value.
+//
+//tva:hotpath
+func (g *Gauge) Set(v float64) {
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the most recently Set value (0 for the zero value).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// sketchBuckets is one bucket per bit position of an int64 sample,
+// plus a zero bucket — the same power-of-two layout as
+// telemetry.Histogram, but with atomic cells so concurrent overlay
+// goroutines can observe without a lock.
+const sketchBuckets = 64
+
+// Sketch is a fixed-bucket quantile sketch over non-negative int64
+// samples (typically nanosecond durations or byte sizes). Observe is
+// one bits.Len64 plus three atomic adds — no allocation, no floating
+// point — so it can sit on the dequeue path of every interface in
+// either data plane. Quantiles are exact to within a factor of two,
+// which is all the time-series view needs. The zero value is ready to
+// use.
+type Sketch struct {
+	counts [sketchBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+}
+
+// Observe records one sample.
+//
+//tva:hotpath
+func (s *Sketch) Observe(v int64) {
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v)) % sketchBuckets
+	}
+	s.counts[i].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 { return s.count.Load() }
+
+// Sum returns the total of all observed samples.
+func (s *Sketch) Sum() int64 { return s.sum.Load() }
+
+// Mean returns the average observed sample (0 if empty).
+func (s *Sketch) Mean() float64 {
+	n := s.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1):
+// the upper edge of the bucket containing that rank. Reads are
+// tearing-tolerant — a concurrent Observe may shift the answer by one
+// bucket, never corrupt it.
+func (s *Sketch) Quantile(q float64) int64 {
+	total := s.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := 0; i < sketchBuckets; i++ {
+		seen += s.counts[i].Load()
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			if i == sketchBuckets-1 {
+				break
+			}
+			return int64(1) << i
+		}
+	}
+	return math.MaxInt64
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// promValue renders a sample for the text exposition: integers print
+// exactly, everything else in shortest 'g' form. NaN/Inf render in
+// the spec's spelling.
+func promValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry's live values in the Prometheus
+// text exposition format (version 0.0.4), stdlib-only. Series sharing
+// a metric name are grouped under one # HELP / # TYPE pair, in
+// first-registration order. For every counter the writer also emits
+// two synthetic gauges carrying the registry's tick-time derivations:
+// <name>:rate (per-second rate over the last tick interval) and
+// <name>:ewma (smoothed rate) — recording-rule-style names, so a
+// single scrape gives tvatop rates without a second poll. Derived
+// series appear only once the registry has ticked at least twice
+// (before that there is no interval to rate over).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := &errWriter{w: w}
+
+	// Live values, grouped by metric name in first-seen order.
+	emitted := make(map[string]bool, len(r.series))
+	for i := range r.series {
+		lead := &r.series[i]
+		if emitted[lead.name] {
+			continue
+		}
+		emitted[lead.name] = true
+		bw.WriteString("# HELP ")
+		bw.WriteString(lead.name)
+		bw.WriteString(" ")
+		bw.WriteString(sanitizeHelp(lead.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(lead.name)
+		bw.WriteString(" ")
+		bw.WriteString(lead.kind.String())
+		bw.WriteString("\n")
+		for j := i; j < len(r.series); j++ {
+			s := &r.series[j]
+			if s.name != lead.name {
+				continue
+			}
+			bw.WriteString(s.id)
+			bw.WriteString(" ")
+			bw.WriteString(promValue(s.read()))
+			bw.WriteString("\n")
+		}
+	}
+
+	// Tick-derived rate and EWMA series for counters.
+	if r.total >= 2 {
+		last := (r.next - 1 + r.cap) % r.cap
+		n := len(r.series)
+		for _, suffix := range [2]string{":rate", ":ewma"} {
+			emitted = make(map[string]bool, len(r.series))
+			for i := range r.series {
+				lead := &r.series[i]
+				if lead.kind != KindCounter || emitted[lead.name] {
+					continue
+				}
+				emitted[lead.name] = true
+				bw.WriteString("# HELP ")
+				bw.WriteString(lead.name)
+				bw.WriteString(suffix)
+				if suffix == ":rate" {
+					bw.WriteString(" Per-second rate of ")
+				} else {
+					bw.WriteString(" Smoothed (EWMA) per-second rate of ")
+				}
+				bw.WriteString(lead.name)
+				bw.WriteString(" over registry ticks.\n# TYPE ")
+				bw.WriteString(lead.name)
+				bw.WriteString(suffix)
+				bw.WriteString(" gauge\n")
+				for j := i; j < len(r.series); j++ {
+					s := &r.series[j]
+					if s.name != lead.name || s.kind != KindCounter {
+						continue
+					}
+					var v float64
+					if suffix == ":rate" {
+						v = r.rates[last*n+j]
+					} else {
+						v = r.ewma[j]
+					}
+					bw.WriteString(s.name)
+					bw.WriteString(suffix)
+					bw.WriteString(renderLabels(s.labels))
+					bw.WriteString(" ")
+					bw.WriteString(promValue(v))
+					bw.WriteString("\n")
+				}
+			}
+		}
+	}
+	return bw.err
+}
+
+// sanitizeHelp strips newlines (escaped per spec) so HELP lines stay
+// single-line.
+func sanitizeHelp(h string) string {
+	if h == "" {
+		return "(no help)"
+	}
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// Handler serves the registry as a /metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

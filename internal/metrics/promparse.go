@@ -1,0 +1,328 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its raw
+// rendered label block (`{k="v",...}` or ""), decoded label pairs,
+// and the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// ID returns the canonical series identity (name + rendered labels),
+// matching Registry.IDs.
+func (s Sample) ID() string { return s.Name + renderLabels(s.Labels) }
+
+// Label returns the value of the named label ("" if absent).
+func (s Sample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// Scrape is one parsed /metrics payload: samples in document order
+// plus the declared TYPE per metric name.
+type Scrape struct {
+	Samples []Sample
+	Types   map[string]string // metric name -> "counter" | "gauge" | ...
+}
+
+// Get returns the first sample with the given metric name.
+func (sc *Scrape) Get(name string) (Sample, bool) {
+	for _, s := range sc.Samples {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// Select returns every sample with the given metric name, in document
+// order.
+func (sc *Scrape) Select(name string) []Sample {
+	var out []Sample
+	for _, s := range sc.Samples {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Has reports whether any sample carries the metric name.
+func (sc *Scrape) Has(name string) bool {
+	_, ok := sc.Get(name)
+	return ok
+}
+
+// ParseProm is a strict parser for the Prometheus text exposition
+// format subset this repo emits (and the broader 0.0.4 grammar for
+// sample lines). It is shared by tvatop and the metrics-smoke
+// validation, so a malformed exposition fails loudly with a line
+// number instead of rendering garbage. Rules enforced:
+//
+//   - comment lines must be well-formed # HELP / # TYPE with a known
+//     type keyword, or plain comments;
+//   - a TYPE for a name may be declared at most once;
+//   - sample lines must have a valid metric name, well-formed label
+//     syntax, and a float value (optional timestamp accepted);
+//   - duplicate series (same name + label set) are rejected.
+func ParseProm(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{Types: make(map[string]string)}
+	seen := make(map[string]bool)
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(sc, line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		id := s.ID()
+		if seen[id] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, id)
+		}
+		seen[id] = true
+		sc.Samples = append(sc.Samples, s)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+func parseComment(sc *Scrape, line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if !promTypes[typ] {
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := sc.Types[name]; dup {
+			return fmt.Errorf("duplicate TYPE declaration for %s", name)
+		}
+		sc.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+
+	// Metric name.
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("missing metric name in %q", line)
+	}
+	s.Name = rest[:i]
+	rest = rest[i:]
+
+	// Optional label block.
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			if inQuote {
+				if c == '\\' {
+					j++
+				} else if c == '"' {
+					inQuote = false
+				}
+				continue
+			}
+			if c == '"' {
+				inQuote = true
+			} else if c == '}' {
+				end = j
+				break
+			}
+		}
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+
+	// Value and optional timestamp.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want value [timestamp] after series in %q", line)
+	}
+	v, err := parsePromFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parseLabels(body string) ([]Label, error) {
+	var out []Label
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label in %q", body)
+		}
+		key := rest[:eq]
+		if !validLabelName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("label %s: value must be quoted", key)
+		}
+		val, n, err := unquoteLabelValue(rest)
+		if err != nil {
+			return nil, fmt.Errorf("label %s: %w", key, err)
+		}
+		rest = rest[n:]
+		out = append(out, Label{Key: key, Value: val})
+		switch {
+		case rest == "":
+		case strings.HasPrefix(rest, ","):
+			rest = rest[1:]
+		default:
+			return nil, fmt.Errorf("junk after label %s in %q", key, body)
+		}
+	}
+	return out, nil
+}
+
+// unquoteLabelValue decodes a leading quoted label value, returning
+// the decoded string and how many input bytes it consumed.
+func unquoteLabelValue(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value")
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "__name__" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tva/internal/metrics"
 	"tva/internal/packet"
 	"tva/internal/sched"
 	"tva/internal/telemetry"
@@ -329,6 +330,12 @@ type Iface struct {
 	// nil check on the dequeue path; nil costs nothing.
 	QueueDelay *telemetry.Histogram
 
+	// WaitSketch, if set, streams the same per-packet queue wait into
+	// the metrics layer's quantile sketch, feeding the live
+	// tva_queue_wait_ns series. Same contract as QueueDelay: one nil
+	// check, zero allocation.
+	WaitSketch *metrics.Sketch
+
 	// Tracer, if set, receives enqueue/dequeue/drop events for this
 	// interface. TraceID labels the events (set it to the owning
 	// router's id).
@@ -499,6 +506,9 @@ func (i *Iface) txNext(tail bool) {
 		}
 		if i.QueueDelay != nil {
 			i.QueueDelay.Observe(sim.now.Sub(pkt.EnqueuedAt))
+		}
+		if i.WaitSketch != nil {
+			i.WaitSketch.Observe(int64(sim.now.Sub(pkt.EnqueuedAt)))
 		}
 		if i.Tracer != nil {
 			i.Tracer.Record(i.traceEvent(pkt, telemetry.EventDequeue))

@@ -125,11 +125,11 @@ func TestOverlayBatchedHandshake(t *testing.T) {
 		}
 	}
 	r.Close()
-	if r.Received == 0 || r.Forwarded == 0 {
-		t.Errorf("router stats empty: recv=%d fwd=%d", r.Received, r.Forwarded)
+	if r.Received.Load() == 0 || r.Forwarded.Load() == 0 {
+		t.Errorf("router stats empty: recv=%d fwd=%d", r.Received.Load(), r.Forwarded.Load())
 	}
-	if r.RxBursts == 0 || r.RxBurstPkts < r.RxBursts {
-		t.Errorf("burst accounting wrong: bursts=%d pkts=%d", r.RxBursts, r.RxBurstPkts)
+	if r.RxBursts.Load() == 0 || r.RxBurstPkts.Load() < r.RxBursts.Load() {
+		t.Errorf("burst accounting wrong: bursts=%d pkts=%d", r.RxBursts.Load(), r.RxBurstPkts.Load())
 	}
 	if st := r.CoreStats(); st.Requests == 0 {
 		t.Errorf("sharded stats saw no requests: %+v", st)

@@ -1,0 +1,181 @@
+package overlay
+
+import (
+	"sort"
+
+	"tva/internal/metrics"
+	"tva/internal/sched"
+	"tva/internal/telemetry"
+	"tva/internal/tvatime"
+)
+
+// RouterMetrics bundles a Router's streaming metrics registry with
+// its attack-onset health detector. Build it once (after routes are
+// installed — per-port series are registered for the ports that exist
+// then), hand the Registry to an HTTP /metrics handler, and drive
+// Tick from a wall-clock ticker. The series names match the ones the
+// simulator's exp harness registers, so tvatop and offline tooling
+// read both data planes identically.
+type RouterMetrics struct {
+	Registry *metrics.Registry
+	Health   *metrics.Detector
+	router   *Router
+}
+
+// Metrics builds the router's registry: forwarding totals, per-reason
+// scheduler drops and demotions, flow-cache occupancy, queue-wait
+// quantiles, burst fill, one labelled gauge set per neighbour port,
+// and the health state. window is the number of retained tick rows.
+// Every value has exactly one source of truth — the router's own
+// counters — and the expvar diagnostics in tvarouter re-read the same
+// registry, so /metrics and /debug/vars can never disagree.
+func (r *Router) Metrics(window int, health metrics.DetectorConfig) *RouterMetrics {
+	reg := metrics.New(window)
+	det := metrics.NewDetector(health)
+	m := &RouterMetrics{Registry: reg, Health: det, router: r}
+
+	// Forwarding totals (overlay-plane series).
+	mustReg(reg.Counter("tva_router_received_total", nil,
+		"Datagrams received on the router socket.",
+		func() float64 { return float64(r.Received.Load()) }))
+	mustReg(reg.Counter("tva_router_forwarded_total", nil,
+		"Packets routed toward a neighbour port.",
+		func() float64 { return float64(r.Forwarded.Load()) }))
+	mustReg(reg.Counter("tva_router_unroutable_total", nil,
+		"Packets with no route and no default port.",
+		func() float64 { return float64(r.Unroutable.Load()) }))
+	mustReg(reg.Counter("tva_router_malformed_total", nil,
+		"Datagrams that failed TVA header parsing.",
+		func() float64 { return float64(r.Malformed.Load()) }))
+
+	// Reason-attributed scheduler drops and demotions (shared-name
+	// series; the simulator registers the same names).
+	for i := 1; i < telemetry.NumDropReasons; i++ {
+		reason := telemetry.DropReason(i)
+		mustReg(reg.Counter("tva_sched_drops_total", metrics.L("reason", reason.String()),
+			"Packets dropped by link schedulers, by attributed reason.",
+			func() float64 { d := r.SchedDrops(); return float64(d.Get(reason)) }))
+		mustReg(reg.Counter("tva_demotions_total", metrics.L("reason", reason.String()),
+			"Packets demoted to legacy service, by attributed cause.",
+			func() float64 { d := r.CoreDemotions(); return float64(d.Get(reason)) }))
+	}
+
+	mustReg(reg.Gauge("tva_flowcache_entries", nil,
+		"Live flow-cache entries across shard replicas.",
+		func() float64 { return float64(r.FlowCacheEntries()) }))
+	mustReg(reg.Gauge("tva_queue_wait_ewma_us", nil,
+		"EWMA output-queue wait in microseconds (the hop-report value).",
+		func() float64 { return float64(r.QueueWaitMicros()) }))
+	mustReg(reg.SketchQuantiles("tva_queue_wait_ns", nil,
+		"Output-queue wait quantiles in nanoseconds.",
+		&r.waitSketch, 0.5, 0.99))
+	mustReg(reg.Gauge("tva_rx_burst_fill", nil,
+		"Mean datagrams per socket read burst.", r.RxBurstFill))
+	mustReg(reg.Gauge("tva_tx_burst_fill", nil,
+		"Mean datagrams per send burst across ports.", r.TxBurstFill))
+
+	// Per-port scheduler gauges, labelled by neighbour address. Ports
+	// created after this point (late AddRoute) are not re-registered:
+	// the series set seals at the first Tick.
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.ports))
+	for k := range r.ports {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // stable column order regardless of map iteration
+	ports := make([]*port, len(keys))
+	for i, k := range keys {
+		ports[i] = r.ports[k]
+	}
+	r.mu.Unlock()
+	for i, k := range keys {
+		k, p := k, ports[i]
+		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("port", k, "class", "request"),
+			"Backlogged packets per port and class.",
+			func() float64 { return float64(portBacklog(p, 0)) }))
+		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("port", k, "class", "regular"),
+			"Backlogged packets per port and class.",
+			func() float64 { return float64(portBacklog(p, 1)) }))
+		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("port", k, "class", "legacy"),
+			"Backlogged packets per port and class.",
+			func() float64 { return float64(portBacklog(p, 2)) }))
+		mustReg(reg.Gauge("tva_regular_queues", metrics.L("port", k),
+			"Live per-destination fair queues.",
+			func() float64 { return float64(portBacklog(p, 3)) }))
+		mustReg(reg.Gauge("tva_token_bucket_bytes", metrics.L("port", k),
+			"Request-channel token bucket level in bytes.",
+			func() float64 { return portTokenLevel(p, r.clock) }))
+		mustReg(reg.Counter("tva_port_sent_pkts_total", metrics.L("port", k),
+			"Datagrams transmitted toward the neighbour.",
+			func() float64 { return float64(p.Sent.Load()) }))
+		mustReg(reg.Counter("tva_port_dropped_pkts_total", metrics.L("port", k),
+			"Packets dropped at this port's scheduler.",
+			func() float64 { return float64(p.Dropped.Load()) }))
+	}
+
+	// Health (shared-name series).
+	mustReg(reg.Gauge("tva_health_state", nil,
+		"Attack-onset health: 0=healthy 1=degraded 2=under-attack 3=recovered.",
+		det.StateValue))
+	mustReg(reg.Counter("tva_health_transitions_total", nil,
+		"Health-state transitions since start.",
+		func() float64 { return float64(len(det.Transitions()) + det.Overflow()) }))
+	return m
+}
+
+// Tick advances the health detector on the current drop totals and
+// request pressure, then samples every series. Call it from a single
+// goroutine (the detector is not concurrency-safe; the registry is).
+func (m *RouterMetrics) Tick(now tvatime.Time) {
+	d := m.router.SchedDrops()
+	drops := d.Total()
+	pressure := float64(m.router.RequestBacklog())
+	m.Health.ObserveTick(now, float64(drops), pressure)
+	m.Registry.Tick(now)
+}
+
+// mustReg panics on a registration error: RouterMetrics registers
+// everything before the registry can seal, so an error here is a
+// programming bug (duplicate series), not runtime input.
+func mustReg(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// portBacklog reads one scheduler occupancy figure under the port
+// lock: 0=request, 1=regular, 2=legacy backlog, 3=live fair queues.
+// Non-TVA schedulers report their total length as regular.
+func portBacklog(p *port, which int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tva, ok := p.q.(*sched.TVA)
+	if !ok {
+		if which == 1 {
+			return p.q.Len()
+		}
+		return 0
+	}
+	switch which {
+	case 0:
+		return tva.RequestBacklog()
+	case 1:
+		return tva.RegularBacklog()
+	case 2:
+		return tva.LegacyBacklog()
+	default:
+		return tva.RegularQueues()
+	}
+}
+
+// portTokenLevel reads the request channel's token level at the
+// current wall time.
+func portTokenLevel(p *port, clock tvatime.Clock) float64 {
+	now := clock.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tva, ok := p.q.(*sched.TVA); ok {
+		return tva.TokenLevel(now)
+	}
+	return 0
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tva/internal/core"
+	"tva/internal/metrics"
 	"tva/internal/packet"
 	"tva/internal/pathid"
 	"tva/internal/sched"
@@ -82,13 +83,18 @@ type Router struct {
 	// waitEWMA is the router-wide EWMA of output-queue wait in
 	// microseconds, updated by the port goroutines and read (via
 	// core.Router.HopWait) when stamping hop reports into requests.
-	waitEWMA atomic.Uint32
+	// waitSketch streams the same per-packet waits (in nanoseconds)
+	// into the metrics layer's quantile sketch.
+	waitEWMA   atomic.Uint32
+	waitSketch metrics.Sketch
 
-	// Stats (owned by the receive goroutine). RxBursts/RxBurstPkts
+	// Stats, written by the receive goroutine and read concurrently by
+	// the metrics registry, stats printers, and tests — atomics so a
+	// live scrape never races the data path. RxBursts/RxBurstPkts
 	// count socket read bursts and the datagrams they carried; their
 	// ratio is the ingress fill level (RxBurstFill).
-	Received, Forwarded, Unroutable, Malformed uint64
-	RxBursts, RxBurstPkts                      uint64
+	Received, Forwarded, Unroutable, Malformed atomic.Uint64
+	RxBursts, RxBurstPkts                      atomic.Uint64
 }
 
 // port is one neighbour link: an output scheduler paced at the link
@@ -100,10 +106,12 @@ type port struct {
 	cond *sync.Cond
 	q    sched.Scheduler
 
-	Sent, Dropped uint64
-	// TxBursts/TxBurstPkts count egress send bursts and the datagrams
-	// they carried (owned by the port goroutine, read approximately).
-	TxBursts, TxBurstPkts uint64
+	// Sent/Dropped and the burst counters are written by the port
+	// goroutine and read concurrently by diagnostics — atomics for the
+	// same reason as the Router totals. TxBursts/TxBurstPkts count
+	// egress send bursts and the datagrams they carried.
+	Sent, Dropped         atomic.Uint64
+	TxBursts, TxBurstPkts atomic.Uint64
 }
 
 // NewRouter binds the router's socket and starts its receive loop.
@@ -172,10 +180,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 // RxBurstFill returns the mean datagrams per socket read burst (1.0
 // when unbatched or idle; approaches the batch size under load).
 func (r *Router) RxBurstFill() float64 {
-	if r.RxBursts == 0 {
+	if r.RxBursts.Load() == 0 {
 		return 0
 	}
-	return float64(r.RxBurstPkts) / float64(r.RxBursts)
+	return float64(r.RxBurstPkts.Load()) / float64(r.RxBursts.Load())
 }
 
 // TxBurstFill returns the mean datagrams per send burst across all
@@ -184,8 +192,8 @@ func (r *Router) TxBurstFill() float64 {
 	var bursts, pkts uint64
 	r.mu.Lock()
 	for _, p := range r.ports {
-		bursts += p.TxBursts
-		pkts += p.TxBurstPkts
+		bursts += p.TxBursts.Load()
+		pkts += p.TxBurstPkts.Load()
 	}
 	r.mu.Unlock()
 	if bursts == 0 {
@@ -227,9 +235,37 @@ func (r *Router) FlowCacheEntries() int {
 // microseconds (the value stamped into hop reports).
 func (r *Router) QueueWaitMicros() uint32 { return r.waitEWMA.Load() }
 
+// WaitSketch exposes the quantile sketch of per-packet output-queue
+// waits (nanoseconds), the overlay's source for the shared
+// tva_queue_wait_ns series.
+func (r *Router) WaitSketch() *metrics.Sketch { return &r.waitSketch }
+
+// RequestBacklog sums backlogged request-class packets across all
+// ports — the request-channel pressure signal the health detector
+// watches (a request flood backs this up before anything overflows).
+func (r *Router) RequestBacklog() int {
+	r.mu.Lock()
+	ports := make([]*port, 0, len(r.ports))
+	for _, p := range r.ports {
+		ports = append(ports, p)
+	}
+	r.mu.Unlock()
+	n := 0
+	for _, p := range ports {
+		p.mu.Lock()
+		if tva, ok := p.q.(*sched.TVA); ok {
+			n += tva.RequestBacklog()
+		}
+		p.mu.Unlock()
+	}
+	return n
+}
+
 // observeWait folds one packet's measured queue wait into the EWMA
-// (gain 1/8, matching TCP's RTT smoothing).
+// (gain 1/8, matching TCP's RTT smoothing) and streams it into the
+// wait sketch.
 func (r *Router) observeWait(d time.Duration) {
+	r.waitSketch.Observe(int64(d))
 	us := uint32(d / time.Microsecond)
 	for {
 		old := r.waitEWMA.Load()
@@ -362,7 +398,7 @@ func (r *Router) Gauges() []PortGauges {
 	out := make([]PortGauges, len(ports))
 	for i, p := range ports {
 		p.mu.Lock()
-		g := PortGauges{Neighbor: keys[i], Sent: p.Sent, Dropped: p.Dropped}
+		g := PortGauges{Neighbor: keys[i], Sent: p.Sent.Load(), Dropped: p.Dropped.Load()}
 		if tva, ok := p.q.(*sched.TVA); ok {
 			g.RequestPkts = tva.RequestBacklog()
 			g.RegularPkts = tva.RegularBacklog()
@@ -429,10 +465,10 @@ func (r *Router) receiveLoop() {
 			}
 			continue
 		}
-		r.Received++
+		r.Received.Add(1)
 		pkt := packet.AcquirePacket()
 		if err := pkt.UnmarshalReuse(buf[:n]); err != nil {
-			r.Malformed++
+			r.Malformed.Add(1)
 			packet.Release(pkt)
 			continue
 		}
@@ -447,11 +483,11 @@ func (r *Router) receiveLoop() {
 		r.core.Process(pkt, 0, r.clock.Now())
 		out := r.route(pkt.Dst)
 		if out == nil {
-			r.Unroutable++
+			r.Unroutable.Add(1)
 			packet.Release(pkt)
 			continue
 		}
-		r.Forwarded++
+		r.Forwarded.Add(1)
 		out.enqueue(pkt, r.clock.Now())
 	}
 }
@@ -478,10 +514,10 @@ func (r *Router) receiveLoopBatched() {
 		}
 		b := packet.AcquireBatch()
 		for i := 0; i < n; i++ {
-			r.Received++
+			r.Received.Add(1)
 			pkt := packet.AcquirePacket()
 			if err := pkt.UnmarshalReuse(r.rx.buf(i)); err != nil {
-				r.Malformed++
+				r.Malformed.Add(1)
 				packet.Release(pkt)
 				continue
 			}
@@ -496,8 +532,8 @@ func (r *Router) receiveLoopBatched() {
 			packet.ReleaseBatch(b)
 			continue
 		}
-		r.RxBursts++
-		r.RxBurstPkts += uint64(b.Len())
+		r.RxBursts.Add(1)
+		r.RxBurstPkts.Add(uint64(b.Len()))
 		now := r.clock.Now()
 		if r.shards != nil {
 			r.shards.process(b, now)
@@ -513,11 +549,11 @@ func (r *Router) receiveLoopBatched() {
 			}
 			out := r.route(pkt.Dst)
 			if out == nil {
-				r.Unroutable++
+				r.Unroutable.Add(1)
 				packet.Release(b.Take(i))
 				continue
 			}
-			r.Forwarded++
+			r.Forwarded.Add(1)
 			if out != cur {
 				if cur != nil && run.Len() > 0 {
 					cur.enqueueBatch(run, now)
@@ -537,7 +573,7 @@ func (p *port) enqueue(pkt *packet.Packet, now tvatime.Time) {
 	pkt.EnqueuedAt = now
 	p.mu.Lock()
 	if !p.q.Enqueue(pkt, now) {
-		p.Dropped++
+		p.Dropped.Add(1)
 		p.mu.Unlock()
 		packet.Release(pkt)
 		return
@@ -563,7 +599,7 @@ func (p *port) enqueueBatch(b *packet.Batch, now tvatime.Time) {
 			dropped++
 			packet.Release(pkt)
 		})
-		p.Dropped += uint64(dropped)
+		p.Dropped.Add(uint64(dropped))
 		if accepted > 0 {
 			p.cond.Signal()
 		}
@@ -578,7 +614,7 @@ func (p *port) enqueueBatch(b *packet.Batch, now tvatime.Time) {
 		if p.q.Enqueue(pkt, now) {
 			accepted++
 		} else {
-			p.Dropped++
+			p.Dropped.Add(1)
 			packet.Release(pkt)
 		}
 		b.Take(i)
@@ -657,9 +693,9 @@ func (r *Router) portLoopBatched(p *port, bs sched.BatchScheduler, tx *batchConn
 		}
 		if len(out) > 0 {
 			sent, _ := tx.sendBatch(out, p.to)
-			p.Sent += uint64(sent)
-			p.TxBursts++
-			p.TxBurstPkts += uint64(len(out))
+			p.Sent.Add(uint64(sent))
+			p.TxBursts.Add(1)
+			p.TxBurstPkts.Add(uint64(len(out)))
 		}
 		if p.bps > 0 && wireBytes > 0 {
 			time.Sleep(time.Duration(int64(wireBytes) * 8 * int64(time.Second) / p.bps))
@@ -717,7 +753,7 @@ func (r *Router) portLoop(p *port) {
 		}
 		buf = data[:0]
 		if _, err := r.conn.WriteToUDP(data, p.to); err == nil {
-			p.Sent++
+			p.Sent.Add(1)
 		}
 		if p.bps > 0 {
 			time.Sleep(time.Duration(int64(len(data)) * 8 * int64(time.Second) / p.bps))

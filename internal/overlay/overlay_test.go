@@ -124,8 +124,8 @@ func TestOverlayRouterStats(t *testing.T) {
 	alice.Send(bob.Addr(), []byte("x"))
 	recvWithin(t, bob, 2*time.Second)
 	r.Close()
-	if r.Received == 0 || r.Forwarded == 0 {
-		t.Errorf("router stats empty: recv=%d fwd=%d", r.Received, r.Forwarded)
+	if r.Received.Load() == 0 || r.Forwarded.Load() == 0 {
+		t.Errorf("router stats empty: recv=%d fwd=%d", r.Received.Load(), r.Forwarded.Load())
 	}
 }
 
@@ -135,7 +135,7 @@ func TestOverlayUnroutableCounted(t *testing.T) {
 	alice.Send(packet.AddrFrom(99, 9, 9, 9), []byte("void"))
 	time.Sleep(200 * time.Millisecond)
 	r.Close()
-	if r.Unroutable == 0 {
+	if r.Unroutable.Load() == 0 {
 		t.Error("unroutable packet not counted")
 	}
 }

@@ -89,16 +89,28 @@ func TestSamplerWraparound(t *testing.T) {
 	}
 }
 
-func TestSamplerAddGaugeAfterSamplePanics(t *testing.T) {
+func TestSamplerAddGaugeAfterSampleErrors(t *testing.T) {
 	s := NewSampler(2)
-	s.AddGauge("x", func() float64 { return 0 })
+	if err := s.AddGauge("x", func() float64 { return 0 }); err != nil {
+		t.Fatalf("pre-seal AddGauge: %v", err)
+	}
 	s.Sample(0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AddGauge after Sample did not panic")
-		}
-	}()
-	s.AddGauge("y", func() float64 { return 0 })
+	err := s.AddGauge("y", func() float64 { return 0 })
+	if err == nil {
+		t.Fatal("AddGauge after Sample did not error")
+	}
+	if !strings.Contains(err.Error(), `"y"`) {
+		t.Fatalf("error should name the rejected gauge: %v", err)
+	}
+	// The failed registration must not have grown the gauge set: a
+	// later Sample would index rows sized for the sealed set.
+	if len(s.Names()) != 1 {
+		t.Fatalf("names after rejected AddGauge = %v", s.Names())
+	}
+	s.Sample(1)
+	if s.Len() != 2 {
+		t.Fatalf("sampler unusable after rejected AddGauge: len=%d", s.Len())
+	}
 }
 
 // TestRingTracerWriteTextWraparound overflows the ring and checks that

@@ -40,14 +40,17 @@ func NewSampler(capacity int) *Sampler {
 	return &Sampler{cap: capacity}
 }
 
-// AddGauge registers a named gauge. Must be called before the first
-// Sample; registration order fixes the output column order.
-func (s *Sampler) AddGauge(name string, fn func() float64) {
+// AddGauge registers a named gauge. Registration order fixes the
+// output column order. The first Sample seals the gauge set (the ring
+// is sized from it), so a late AddGauge returns an error and leaves
+// the sampler unchanged.
+func (s *Sampler) AddGauge(name string, fn func() float64) error {
 	if s.sealed {
-		panic("telemetry: AddGauge after first Sample")
+		return fmt.Errorf("telemetry: AddGauge(%q) after first Sample", name)
 	}
 	s.names = append(s.names, name)
 	s.gauges = append(s.gauges, fn)
+	return nil
 }
 
 // Sample reads every gauge and records one row stamped now.

@@ -21,10 +21,15 @@ type Chain struct {
 // Chains groups spans by trace ID. Input order does not matter; each
 // chain comes out Seq-sorted and chains are ordered by ID. Chains that
 // lost their head to ring wraparound are still returned — the caller
-// can detect truncation by a missing EdgeSend.
+// can detect truncation by a missing EdgeSend. EdgeHealth spans carry
+// no packet identity (ID 0) and are excluded rather than grouped into
+// a phantom chain.
 func Chains(spans []Span) []Chain {
 	byID := make(map[uint64][]Span)
 	for _, sp := range spans {
+		if sp.Edge == EdgeHealth {
+			continue
+		}
 		byID[sp.ID] = append(byID[sp.ID], sp)
 	}
 	out := make([]Chain, 0, len(byID))

@@ -125,6 +125,15 @@ func WriteChromeTrace(w io.Writer, d *Dump) error {
 				c.close()
 				delete(deq, k)
 			}
+		case EdgeHealth:
+			// Health transitions are process-global instants, not packet
+			// events: mark them with global scope so the viewer draws a
+			// full-height line at the onset.
+			c.event('i', "health "+HealthStateName(sp.Class), spanTID(sp), sp.Time)
+			c.raw(`,"s":"g"`)
+			c.raw(`,"args":{"from":` + strconv.Quote(HealthStateName(sp.Kind-1)) +
+				`,"to":` + strconv.Quote(HealthStateName(sp.Class)) + "}")
+			c.close()
 		case EdgeSend, EdgeVerdict, EdgeDemote, EdgeDrop, EdgeDeliver:
 			c.event('i', sp.Edge.String(), spanTID(sp), sp.Time)
 			c.raw(`,"s":"t"`)

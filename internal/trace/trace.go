@@ -50,9 +50,15 @@ const (
 	EdgeDrop
 	// EdgeDeliver: the packet reached its destination host.
 	EdgeDeliver
+	// EdgeHealth: the attack-onset health engine changed state. Not a
+	// packet-lifecycle edge — the span carries no packet identity
+	// (ID 0); Span.Kind holds the previous metrics.State + 1 and
+	// Span.Class the new one, so forensics can line up "when did the
+	// detector fire" against the packet timeline around it.
+	EdgeHealth
 
 	// NumEdges sizes per-edge count arrays.
-	NumEdges = int(EdgeDeliver) + 1
+	NumEdges = int(EdgeHealth) + 1
 )
 
 var edgeNames = [NumEdges]string{
@@ -64,6 +70,7 @@ var edgeNames = [NumEdges]string{
 	EdgeTx:      "tx",
 	EdgeDrop:    "drop",
 	EdgeDeliver: "deliver",
+	EdgeHealth:  "health",
 }
 
 // String returns the stable name used in text and JSON output.
@@ -72,6 +79,24 @@ func (e Edge) String() string {
 		return edgeNames[e]
 	}
 	return "unknown"
+}
+
+// HealthStateName names a raw metrics.State byte carried in an
+// EdgeHealth span (kept here so trace need not import metrics; the
+// metrics package tests assert the two stay in sync).
+func HealthStateName(s uint8) string {
+	switch s {
+	case 0:
+		return "healthy"
+	case 1:
+		return "degraded"
+	case 2:
+		return "under-attack"
+	case 3:
+		return "recovered"
+	default:
+		return "unknown"
+	}
 }
 
 // ClassName names a raw packet.Class byte (kept here so trace need not
