@@ -16,9 +16,11 @@ build:
 vet:
 	go vet ./...
 
-# lint runs the repo's own analyzer suite (internal/lint): hot-path
-# allocation freedom, simulation determinism, drop-reason attribution,
-# and packet-pool ownership. Non-zero exit on any finding.
+# lint runs the repo's own eight-analyzer suite (internal/lint):
+# hot-path allocation freedom, simulation determinism, drop-reason
+# attribution, packet-pool ownership, lock discipline, atomic-field
+# hygiene, goroutine shutdown edges, and cross-plane metric-name
+# consistency. Non-zero exit on any finding.
 lint:
 	go run ./cmd/tvalint ./...
 
@@ -28,8 +30,12 @@ lint:
 test:
 	go test -vet=all ./...
 
+# The extra -count=2 pass re-runs the overlay shard/batch tests so the
+# race detector sees worker startup and teardown twice in one process —
+# the window the goleak analyzer reasons about statically.
 race:
 	go test -race -vet=off ./...
+	go test -race -vet=off -count=2 -run 'Batch|Shard' ./internal/overlay
 
 # bench writes a machine-readable snapshot (Table 1 ns/op + allocs/op,
 # Fig. 12 peak kpps, scenario completion fractions) keyed by revision.

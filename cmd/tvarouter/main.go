@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -104,6 +106,13 @@ func main() {
 	fmt.Printf("tvarouter listening on %s (%d routes, suite=%s, batch=%d, shards=%d)\n",
 		r.Addr(), len(routes), suite.Name, *batch, *shards)
 
+	// Every background goroutine below selects on stop and joins bg, so
+	// shutdown is a close + Wait, not a process-exit shrug; the goleak
+	// analyzer (internal/lint) enforces exactly this shape.
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+	var listeners []net.Listener
+
 	// The registry is built after every route is installed, so each
 	// neighbour port gets its labelled series; it is the single source
 	// of truth behind /metrics, /debug/vars, and the health engine.
@@ -112,9 +121,18 @@ func main() {
 		fmt.Printf("health: %s\n", tr)
 	}
 	m.Tick(tvatime.WallClock{}.Now()) // seal + first row before anything scrapes
+	bg.Add(1)
 	go func() {
-		for range time.Tick(*metricsEvery) {
-			m.Tick(tvatime.WallClock{}.Now())
+		defer bg.Done()
+		t := time.NewTicker(*metricsEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.Tick(tvatime.WallClock{}.Now())
+			case <-stop:
+				return
+			}
 		}
 	}()
 
@@ -126,10 +144,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "metrics:", err)
 			os.Exit(1)
 		}
+		listeners = append(listeners, ln)
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler(m.Registry))
+		bg.Add(1)
 		go func() {
-			if err := http.Serve(ln, mux); err != nil {
+			defer bg.Done()
+			// Serve returns once ln is closed at shutdown.
+			if err := http.Serve(ln, mux); err != nil && !isClosed(err) {
 				fmt.Fprintln(os.Stderr, "metrics:", err)
 			}
 		}()
@@ -141,20 +163,37 @@ func main() {
 		// /debug/pprof (profiles) and /debug/vars (expvar) on the
 		// default mux; both packages register themselves on import.
 		expvar.Publish("tva", expvar.Func(func() any { return diagnostics(m) }))
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pprof:", err)
+			os.Exit(1)
+		}
+		listeners = append(listeners, ln)
+		bg.Add(1)
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+			defer bg.Done()
+			if err := http.Serve(ln, nil); err != nil && !isClosed(err) {
 				fmt.Fprintln(os.Stderr, "pprof:", err)
 			}
 		}()
-		fmt.Printf("diagnostics on http://%s/debug/pprof and /debug/vars\n", *debugAddr)
+		fmt.Printf("diagnostics on http://%s/debug/pprof and /debug/vars\n", ln.Addr())
 	}
 
 	if *stats > 0 {
+		bg.Add(1)
 		go func() {
-			for range time.Tick(*stats) {
-				fmt.Printf("stats: received=%d forwarded=%d unroutable=%d malformed=%d health=%s\n",
-					r.Received.Load(), r.Forwarded.Load(), r.Unroutable.Load(),
-					r.Malformed.Load(), m.Health.State())
+			defer bg.Done()
+			t := time.NewTicker(*stats)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fmt.Printf("stats: received=%d forwarded=%d unroutable=%d malformed=%d health=%s\n",
+						r.Received.Load(), r.Forwarded.Load(), r.Unroutable.Load(),
+						r.Malformed.Load(), m.Health.State())
+				case <-stop:
+					return
+				}
 			}
 		}()
 	}
@@ -163,6 +202,17 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	close(stop)
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	bg.Wait()
+}
+
+// isClosed reports the http.Serve error produced by closing its
+// listener during shutdown — expected, not worth logging.
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed)
 }
 
 // diagnostics renders the legacy /debug/vars block by re-reading the
@@ -190,43 +240,43 @@ func diagnostics(m *overlay.RouterMetrics) map[string]any {
 	var dropsTotal uint64
 	m.Registry.Each(func(s metrics.SeriesView) {
 		switch s.Name {
-		case "tva_router_received_total":
+		case metrics.NameRouterReceived:
 			out["received"] = uint64(s.Value)
-		case "tva_router_forwarded_total":
+		case metrics.NameRouterForwarded:
 			out["forwarded"] = uint64(s.Value)
-		case "tva_router_unroutable_total":
+		case metrics.NameRouterUnroutable:
 			out["unroutable"] = uint64(s.Value)
-		case "tva_router_malformed_total":
+		case metrics.NameRouterMalformed:
 			out["malformed"] = uint64(s.Value)
-		case "tva_sched_drops_total":
+		case metrics.NameSchedDrops:
 			dropsTotal += uint64(s.Value)
 			if s.Value > 0 {
 				drops[label(s, "reason")] = uint64(s.Value)
 			}
-		case "tva_demotions_total":
+		case metrics.NameDemotions:
 			if s.Value > 0 {
 				demotions[label(s, "reason")] = uint64(s.Value)
 			}
-		case "tva_flowcache_entries":
+		case metrics.NameFlowCacheEntries:
 			out["flowcache_entries"] = int(s.Value)
-		case "tva_queue_wait_ewma_us":
+		case metrics.NameQueueWaitEWMA:
 			out["queue_wait_us"] = uint32(s.Value)
-		case "tva_rx_burst_fill":
+		case metrics.NameRxBurstFill:
 			out["rx_burst_fill"] = s.Value
-		case "tva_tx_burst_fill":
+		case metrics.NameTxBurstFill:
 			out["tx_burst_fill"] = s.Value
-		case "tva_queue_pkts":
+		case metrics.NameQueuePkts:
 			blk := portFor(label(s, "port"))
 			blk["queue_"+label(s, "class")+"_pkts"] = int(s.Value)
-		case "tva_regular_queues":
+		case metrics.NameRegularQueues:
 			portFor(label(s, "port"))["regular_queues"] = int(s.Value)
-		case "tva_token_bucket_bytes":
+		case metrics.NameTokenBucket:
 			portFor(label(s, "port"))["token_bucket_bytes"] = s.Value
-		case "tva_port_sent_pkts_total":
+		case metrics.NamePortSent:
 			portFor(label(s, "port"))["sent_pkts"] = uint64(s.Value)
-		case "tva_port_dropped_pkts_total":
+		case metrics.NamePortDropped:
 			portFor(label(s, "port"))["dropped_pkts"] = uint64(s.Value)
-		case "tva_health_state":
+		case metrics.NameHealthState:
 			out["health"] = metrics.State(s.Value).String()
 		}
 	})

@@ -7,13 +7,17 @@
 //	tvatop http://127.0.0.1:9100/metrics
 //	tvatop -interval 2s http://r1:9100/metrics http://r2:9100/metrics
 //	tvatop -once -require tva_health_state,tva_sched_drops_total URL
+//	tvatop -once -require-set overlay URL
 //
 // With -once it scrapes each target a single time and prints one
 // plain-text snapshot — no ANSI, no wall-clock text — so the output
 // is a deterministic function of the scraped bytes (scripts diff it).
 // -require lists series names that must be present in every target's
-// exposition; a missing one is a non-zero exit. The parser is strict:
-// malformed exposition is an error, never a shrug.
+// exposition; -require-set requires one of the plane contracts
+// declared in internal/metrics (shared, overlay, sim), so scripts
+// anchor on the same constants both data planes register instead of
+// their own literal lists. A missing series is a non-zero exit. The
+// parser is strict: malformed exposition is an error, never a shrug.
 package main
 
 import (
@@ -22,9 +26,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"tva/internal/metrics"
@@ -34,15 +40,23 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "poll interval in live mode")
 	once := flag.Bool("once", false, "scrape once, print a plain snapshot, exit")
 	require := flag.String("require", "", "comma-separated series names that must be present in every target")
+	requireSet := flag.String("require-set", "", "require a named plane contract from internal/metrics: shared, overlay, or sim")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-scrape HTTP timeout")
 	flag.Parse()
 
 	targets := flag.Args()
 	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tvatop [-once] [-interval D] [-require a,b] URL...")
+		fmt.Fprintln(os.Stderr, "usage: tvatop [-once] [-interval D] [-require a,b] [-require-set shared|overlay|sim] URL...")
 		os.Exit(2)
 	}
 	var required []string
+	if *requireSet != "" {
+		required = metrics.RequiredFor(*requireSet)
+		if required == nil {
+			fmt.Fprintf(os.Stderr, "tvatop: unknown -require-set %q (want shared, overlay, or sim)\n", *requireSet)
+			os.Exit(2)
+		}
+	}
 	for _, name := range strings.Split(*require, ",") {
 		if name = strings.TrimSpace(name); name != "" {
 			required = append(required, name)
@@ -69,6 +83,13 @@ func main() {
 		os.Exit(code)
 	}
 
+	// The refresh loop is interrupt-aware: ctrl-c (or SIGTERM) lands on
+	// sig and the console exits cleanly after the current frame instead
+	// of dying mid-escape-sequence.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
 	for {
 		var b strings.Builder
 		b.WriteString("\x1b[2J\x1b[H") // clear + home
@@ -83,7 +104,12 @@ func main() {
 		fmt.Fprintf(&b, "-- %s  every %s  q to quit (ctrl-c)\n",
 			time.Now().Format("15:04:05"), interval)
 		os.Stdout.WriteString(b.String())
-		time.Sleep(*interval)
+		select {
+		case <-ticker.C:
+		case <-sig:
+			fmt.Println()
+			return
+		}
 	}
 }
 
@@ -127,31 +153,31 @@ func render(w io.Writer, url string, sc *metrics.Scrape) {
 	fmt.Fprintf(w, "== %s\n", url)
 
 	// Health line.
-	if sc.Has("tva_health_state") {
-		state := metrics.State(value(sc, "tva_health_state"))
+	if sc.Has(metrics.NameHealthState) {
+		state := metrics.State(value(sc, metrics.NameHealthState))
 		fmt.Fprintf(w, "  health %-12s transitions %.0f\n",
-			state, value(sc, "tva_health_transitions_total"))
+			state, value(sc, metrics.NameHealthTransitions))
 	}
 
 	// Forwarding / goodput rates (overlay names first, sim fallback).
-	if sc.Has("tva_router_received_total") {
+	if sc.Has(metrics.NameRouterReceived) {
 		fmt.Fprintf(w, "  rx %spps  fwd %spps  received %.0f  forwarded %.0f  unroutable %.0f  malformed %.0f\n",
-			rate(sc, "tva_router_received_total"), rate(sc, "tva_router_forwarded_total"),
-			value(sc, "tva_router_received_total"), value(sc, "tva_router_forwarded_total"),
-			value(sc, "tva_router_unroutable_total"), value(sc, "tva_router_malformed_total"))
+			rate(sc, metrics.NameRouterReceived), rate(sc, metrics.NameRouterForwarded),
+			value(sc, metrics.NameRouterReceived), value(sc, metrics.NameRouterForwarded),
+			value(sc, metrics.NameRouterUnroutable), value(sc, metrics.NameRouterMalformed))
 	}
-	if sc.Has("tva_goodput_bytes_total") {
+	if sc.Has(metrics.NameGoodputBytes) {
 		fmt.Fprintf(w, "  goodput %sBps  total %.0f bytes\n",
-			rate(sc, "tva_goodput_bytes_total"), value(sc, "tva_goodput_bytes_total"))
+			rate(sc, metrics.NameGoodputBytes), value(sc, metrics.NameGoodputBytes))
 	}
-	if sc.Has("tva_legit_completion_fraction") {
+	if sc.Has(metrics.NameLegitCompletion) {
 		fmt.Fprintf(w, "  legit completion %5.1f%%  %s\n",
-			100*value(sc, "tva_legit_completion_fraction"),
-			bar(value(sc, "tva_legit_completion_fraction"), 20))
+			100*value(sc, metrics.NameLegitCompletion),
+			bar(value(sc, metrics.NameLegitCompletion), 20))
 	}
 
 	// Queue occupancy by port and class.
-	if samples := sorted(sc.Select("tva_queue_pkts")); len(samples) > 0 {
+	if samples := sorted(sc.Select(metrics.NameQueuePkts)); len(samples) > 0 {
 		fmt.Fprintf(w, "  queues:\n")
 		for _, s := range samples {
 			name := s.Label("class")
@@ -161,23 +187,23 @@ func render(w io.Writer, url string, sc *metrics.Scrape) {
 			fmt.Fprintf(w, "    %-28s %6.0f pkts\n", name, s.Value)
 		}
 	}
-	for _, s := range sorted(sc.Select("tva_regular_queues")) {
+	for _, s := range sorted(sc.Select(metrics.NameRegularQueues)) {
 		fmt.Fprintf(w, "  fair queues %-18s %6.0f\n", s.Label("port"), s.Value)
 	}
-	for _, s := range sorted(sc.Select("tva_token_bucket_bytes")) {
+	for _, s := range sorted(sc.Select(metrics.NameTokenBucket)) {
 		fmt.Fprintf(w, "  req tokens  %-18s %8.0f B\n", s.Label("port"), s.Value)
 	}
 
 	// Queue waits: the EWMA hop estimate plus sketch quantiles.
-	if sc.Has("tva_queue_wait_ewma_us") {
-		fmt.Fprintf(w, "  queue wait ewma %.0fus\n", value(sc, "tva_queue_wait_ewma_us"))
+	if sc.Has(metrics.NameQueueWaitEWMA) {
+		fmt.Fprintf(w, "  queue wait ewma %.0fus\n", value(sc, metrics.NameQueueWaitEWMA))
 	}
-	for _, s := range sorted(sc.Select("tva_queue_wait_ns")) {
+	for _, s := range sorted(sc.Select(metrics.NameQueueWait)) {
 		fmt.Fprintf(w, "  queue wait %-5s %10.0fns\n", percentile(s.Label("q")), s.Value)
 	}
 
 	// Drop-reason mix with live rates, non-zero reasons only.
-	if drops := sorted(sc.Select("tva_sched_drops_total")); len(drops) > 0 {
+	if drops := sorted(sc.Select(metrics.NameSchedDrops)); len(drops) > 0 {
 		var total float64
 		for _, s := range drops {
 			total += s.Value
@@ -190,14 +216,14 @@ func render(w io.Writer, url string, sc *metrics.Scrape) {
 				}
 				fmt.Fprintf(w, "    %-24s %10.0f  %spps  %s\n",
 					s.Label("reason"), s.Value,
-					rateFor(sc, "tva_sched_drops_total:rate", s),
+					rateFor(sc, metrics.NameSchedDrops+":rate", s),
 					bar(s.Value/total, 20))
 			}
 		}
 	}
 
 	// Burst fill (batching efficiency).
-	for _, name := range []string{"tva_rx_burst_fill", "tva_tx_burst_fill"} {
+	for _, name := range []string{metrics.NameRxBurstFill, metrics.NameTxBurstFill} {
 		if sc.Has(name) {
 			fmt.Fprintf(w, "  %s %.2f\n", strings.TrimPrefix(strings.TrimSuffix(name, "_burst_fill"), "tva_")+" burst fill", value(sc, name))
 		}

@@ -261,33 +261,33 @@ func (b *builder) startMetrics(tel *RunTelemetry, lr *netsim.Iface, completion f
 	// per-port gauges; the sim plane has one bottleneck, so no port
 	// label).
 	if tva, ok := lr.Sched.(*sched.TVA); ok {
-		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("class", "request"),
+		mustReg(reg.Gauge(metrics.NameQueuePkts, metrics.L("class", "request"),
 			"Backlogged packets at the forward bottleneck, by class.",
 			func() float64 { return float64(tva.RequestBacklog()) }))
-		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("class", "regular"),
+		mustReg(reg.Gauge(metrics.NameQueuePkts, metrics.L("class", "regular"),
 			"Backlogged packets at the forward bottleneck, by class.",
 			func() float64 { return float64(tva.RegularBacklog()) }))
-		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("class", "legacy"),
+		mustReg(reg.Gauge(metrics.NameQueuePkts, metrics.L("class", "legacy"),
 			"Backlogged packets at the forward bottleneck, by class.",
 			func() float64 { return float64(tva.LegacyBacklog()) }))
-		mustReg(reg.Gauge("tva_regular_queues", nil,
+		mustReg(reg.Gauge(metrics.NameRegularQueues, nil,
 			"Live per-destination fair queues.",
 			func() float64 { return float64(tva.RegularQueues()) }))
-		mustReg(reg.Gauge("tva_token_bucket_bytes", nil,
+		mustReg(reg.Gauge(metrics.NameTokenBucket, nil,
 			"Request-channel token bucket level in bytes.",
 			func() float64 { return tva.TokenLevel(sim.Now()) }))
 	} else {
-		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("class", "all"),
+		mustReg(reg.Gauge(metrics.NameQueuePkts, metrics.L("class", "all"),
 			"Backlogged packets at the forward bottleneck.",
 			func() float64 { return float64(lr.Sched.Len()) }))
 	}
 	if len(b.tvaRouters) > 0 {
 		cache := b.tvaRouters[0].Cache()
-		mustReg(reg.Gauge("tva_flowcache_entries", nil,
+		mustReg(reg.Gauge(metrics.NameFlowCacheEntries, nil,
 			"Live flow-cache entries at the bottleneck router.",
 			func() float64 { return float64(cache.Len()) }))
 	}
-	mustReg(reg.Counter("tva_goodput_bytes_total", nil,
+	mustReg(reg.Counter(metrics.NameGoodputBytes, nil,
 		"Wire bytes delivered to the destination host.",
 		func() float64 { return float64(tel.GoodputBytes) }))
 
@@ -297,7 +297,7 @@ func (b *builder) startMetrics(tel *RunTelemetry, lr *netsim.Iface, completion f
 		drops := rc.DropReasons()
 		for i := int(telemetry.DropNone) + 1; i < telemetry.NumDropReasons; i++ {
 			reason := telemetry.DropReason(i)
-			mustReg(reg.Counter("tva_sched_drops_total", metrics.L("reason", reason.String()),
+			mustReg(reg.Counter(metrics.NameSchedDrops, metrics.L("reason", reason.String()),
 				"Packets dropped by the bottleneck scheduler, by attributed reason.",
 				func() float64 { return float64(drops.Get(reason)) }))
 		}
@@ -305,7 +305,7 @@ func (b *builder) startMetrics(tel *RunTelemetry, lr *netsim.Iface, completion f
 	if routers := b.tvaRouters; len(routers) > 0 {
 		for i := int(telemetry.DropNone) + 1; i < telemetry.NumDropReasons; i++ {
 			reason := telemetry.DropReason(i)
-			mustReg(reg.Counter("tva_demotions_total", metrics.L("reason", reason.String()),
+			mustReg(reg.Counter(metrics.NameDemotions, metrics.L("reason", reason.String()),
 				"Packets demoted to legacy service, by attributed cause.",
 				func() float64 {
 					var t uint64
@@ -317,30 +317,30 @@ func (b *builder) startMetrics(tel *RunTelemetry, lr *netsim.Iface, completion f
 		}
 	}
 	rl := lr.Peer
-	mustReg(reg.Counter("tva_link_fault_drops_total", nil,
+	mustReg(reg.Counter(metrics.NameLinkFaultDrops, nil,
 		"Physical-layer fault losses on the bottleneck link, both directions.",
 		func() float64 {
 			return float64(lr.FaultDrops.Total() + rl.FaultDrops.Total())
 		}))
-	mustReg(reg.Gauge("tva_tx_burst_fill", nil,
+	mustReg(reg.Gauge(metrics.NameTxBurstFill, nil,
 		"Mean packets per transmit-loop visit.", sim.TxBurstFill))
 
 	// Queue-wait quantiles, streamed per packet from the bottleneck's
 	// transmit path (the sketch hook costs one nil check when unused).
 	sk := new(metrics.Sketch)
 	lr.WaitSketch = sk
-	mustReg(reg.SketchQuantiles("tva_queue_wait_ns", nil,
+	mustReg(reg.SketchQuantiles(metrics.NameQueueWait, nil,
 		"Forward-bottleneck output-queue wait quantiles in nanoseconds.",
 		sk, 0.5, 0.99))
 
 	// The live SLO and the health series.
-	mustReg(reg.Gauge("tva_legit_completion_fraction", nil,
+	mustReg(reg.Gauge(metrics.NameLegitCompletion, nil,
 		"Fraction of decided legitimate transfers that completed.",
 		completion))
-	mustReg(reg.Gauge("tva_health_state", nil,
+	mustReg(reg.Gauge(metrics.NameHealthState, nil,
 		"Attack-onset health: 0=healthy 1=degraded 2=under-attack 3=recovered.",
 		det.StateValue))
-	mustReg(reg.Counter("tva_health_transitions_total", nil,
+	mustReg(reg.Counter(metrics.NameHealthTransitions, nil,
 		"Health-state transitions since start.",
 		func() float64 { return float64(len(det.Transitions()) + det.Overflow()) }))
 

@@ -1,0 +1,185 @@
+// The atomicfield analyzer: once a variable is touched through
+// sync/atomic anywhere in the program, every other access must be
+// atomic too — a single plain read of a counter that writers update
+// with atomic.AddUint64 is a data race the memory model gives no
+// meaning to, and one -race never sees unless the interleaving lands.
+//
+// The check is program-wide in its first pass (an atomic store in
+// package A taints the field for a reader in package B; type identity
+// is shared across the loaded program) and reports in the requested
+// packages:
+//
+//   - any selector or identifier use of a tainted variable outside a
+//     sync/atomic call's address argument;
+//   - any 64-bit tainted struct field whose offset under 32-bit (gc,
+//     386) layout is not 8-aligned — sync/atomic documents that such
+//     fields crash on 32-bit targets unless the struct keeps them
+//     8-aligned by construction. Fields of type atomic.Int64/Uint64
+//     are exempt: the runtime align64-tags them.
+//
+// The typed atomic.Uint64-style instruments (internal/metrics) need no
+// analysis — their payload is unexported, so non-atomic access does
+// not compile.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// AtomicField is the atomicfield analyzer.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "forbid mixed atomic/non-atomic access to a variable and misaligned 64-bit atomic struct fields",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(prog *Program, pkgs []*Package) []Finding {
+	// Pass 1 (whole program): every variable whose address feeds a
+	// sync/atomic call, and the exact AST nodes sanctioned by those
+	// calls.
+	tainted := map[*types.Var]token.Position{} // var -> one atomic use site
+	sanctioned := map[ast.Node]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcFor(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				operand := ast.Unparen(addr.X)
+				if v := varFor(pkg.Info, operand); v != nil {
+					if _, seen := tainted[v]; !seen {
+						tainted[v] = prog.Fset.Position(call.Pos())
+					}
+					sanctioned[operand] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(tainted) == 0 {
+		return nil
+	}
+
+	// Pass 2 (requested packages): non-atomic uses and 64-bit layout.
+	var findings []Finding
+	report := func(pos token.Pos, msg string) {
+		findings = append(findings, Finding{
+			Pos:     prog.Fset.Position(pos),
+			Check:   "atomicfield",
+			Message: msg,
+		})
+	}
+	// Offsets under the 32-bit layout: if a 64-bit atomic field is
+	// 8-aligned there, it is 8-aligned everywhere.
+	sizes32 := types.SizesFor("gc", "386")
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					if v := varFor(pkg.Info, n); v != nil && !sanctioned[n] {
+						if pos, ok := tainted[v]; ok {
+							report(n.Pos(), "non-atomic access to "+v.Name()+", which is accessed via sync/atomic at "+pos.String())
+						}
+					}
+				case *ast.Ident:
+					// Package-level vars used bare. Declaration sites and
+					// selector Sel idents are excluded (Defs / the
+					// SelectorExpr case handle those).
+					v, ok := pkg.Info.Uses[n].(*types.Var)
+					if !ok || v.IsField() || sanctioned[n] {
+						return true
+					}
+					if pos, ok := tainted[v]; ok {
+						report(n.Pos(), "non-atomic access to "+v.Name()+", which is accessed via sync/atomic at "+pos.String())
+					}
+				case *ast.TypeSpec:
+					checkAtomicLayout(prog, pkg, n, tainted, sizes32, report)
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// varFor resolves a selector or identifier to the variable it reads or
+// writes, when that variable could be the target of an atomic op.
+func varFor(info *types.Info, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkAtomicLayout flags tainted 64-bit fields that a 32-bit layout
+// places off 8-byte alignment.
+func checkAtomicLayout(prog *Program, pkg *Package, spec *ast.TypeSpec, tainted map[*types.Var]token.Position, sizes types.Sizes, report func(token.Pos, string)) {
+	obj, ok := pkg.Info.Defs[spec.Name]
+	if !ok || obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	offsets := sizes.Offsetsof(fields)
+	for i, fv := range fields {
+		if _, isTainted := tainted[fv]; !isTainted {
+			continue
+		}
+		b, ok := fv.Type().Underlying().(*types.Basic)
+		if !ok {
+			continue
+		}
+		switch b.Kind() {
+		case types.Int64, types.Uint64:
+		default:
+			continue
+		}
+		if offsets[i]%8 != 0 {
+			// Anchor at the field's declaration inside this spec.
+			pos := fieldPos(spec, fv.Name())
+			report(pos, "64-bit atomic field "+fv.Name()+" sits at 32-bit offset "+strconv.FormatInt(offsets[i], 10)+", not 8-aligned; move it to the front of "+spec.Name.Name+" or use atomic.Uint64/Int64")
+		}
+	}
+}
+
+// fieldPos finds the named field's position within a struct type spec.
+func fieldPos(spec *ast.TypeSpec, name string) token.Pos {
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return spec.Pos()
+	}
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return n.Pos()
+			}
+		}
+	}
+	return spec.Pos()
+}

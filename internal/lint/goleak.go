@@ -1,0 +1,142 @@
+// The goleak analyzer: every `go` statement must come with evidence
+// that the goroutine can finish. A looping goroutine with no exit
+// signal outlives its owner, pins its captures, and — in this repo —
+// keeps ticking a sealed metrics registry or holding a socket after
+// Close. Accepted evidence, scanned over the spawned body (func
+// literal, or the declaration of a directly named module function):
+//
+//   - no loop at all: a straight-line body terminates by itself;
+//   - a sync.WaitGroup.Done call (typically deferred) — someone joins
+//     the goroutine, so its lifetime is managed;
+//   - a receive from, or range over, a plausible completion channel: a
+//     done/stop channel, ctx.Done(), or a data channel the owner
+//     closes. Timer sources prove nothing and do not count: a channel
+//     obtained directly from time.Tick or time.After, or the C field
+//     of a time.Ticker/time.Timer, only ever says "keep going".
+//
+// `for range time.Tick(d)` — the exact pattern this repo's router
+// daemon used — is therefore a finding, and select { <-t.C / <-stop }
+// is the fix. Goroutines that genuinely live for the whole process
+// carry //lint:ignore goleak <reason>.
+//
+// This is a shutdown-edge existence check, not a liveness proof: a
+// select on a done channel that is never closed still passes. The
+// analyzer pins the convention; the race job exercises it.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak is the goleak analyzer.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "require every go statement to have a provable shutdown edge (done-channel receive, WaitGroup, or a loop-free body)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(prog *Program, pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				report := func(msg string) {
+					findings = append(findings, Finding{
+						Pos:     prog.Fset.Position(g.Pos()),
+						Check:   "goleak",
+						Message: msg,
+					})
+				}
+				body, bodyPkg := goBody(prog, pkg, g.Call)
+				if body == nil {
+					report("cannot resolve the goroutine body to prove a shutdown edge; spawn a func literal or a module function, or //lint:ignore goleak <reason>")
+					return true
+				}
+				if !provesShutdown(prog, bodyPkg, body) {
+					report("goroutine loops with no shutdown edge (no done-channel receive, no WaitGroup.Done; timer channels do not count); select on a stop channel or //lint:ignore goleak <reason>")
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// goBody resolves the spawned call to the function body that will run:
+// the literal itself, or the declaration of a statically named module
+// function.
+func goBody(prog *Program, pkg *Package, call *ast.CallExpr) (*ast.BlockStmt, *Package) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, pkg
+	}
+	if fn := funcFor(pkg.Info, call); fn != nil && prog.InModule(fn.Pkg()) {
+		if fd, ok := prog.FuncDecls[fn]; ok && fd.Decl.Body != nil {
+			return fd.Decl.Body, fd.Pkg
+		}
+	}
+	return nil, nil
+}
+
+// provesShutdown scans body (nested literals included — a shutdown
+// edge anywhere in the spawned tree counts) for the accepted evidence.
+func provesShutdown(prog *Program, pkg *Package, body *ast.BlockStmt) bool {
+	hasLoop, hasEdge := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			hasLoop = true
+		case *ast.RangeStmt:
+			hasLoop = true
+			if isChanExpr(pkg, n.X) && !timerChan(pkg, n.X) {
+				hasEdge = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !timerChan(pkg, n.X) {
+				hasEdge = true
+			}
+		case *ast.CallExpr:
+			if fn := funcFor(pkg.Info, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && fn.Name() == "Done" && recvIsSyncType(fn, "WaitGroup") {
+				hasEdge = true
+			}
+		}
+		return true
+	})
+	return !hasLoop || hasEdge
+}
+
+// isChanExpr reports whether e has channel type.
+func isChanExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// timerChan reports whether e is a channel that only says "keep
+// going": the result of time.Tick / time.After, or the C field of a
+// time.Ticker / time.Timer.
+func timerChan(pkg *Package, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if fn := funcFor(pkg.Info, e); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			return fn.Name() == "Tick" || fn.Name() == "After"
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "C" {
+			return false
+		}
+		if tv, ok := pkg.Info.Types[e.X]; ok && tv.Type != nil {
+			return namedType(tv.Type, "time", "Ticker") || namedType(tv.Type, "time", "Timer")
+		}
+	}
+	return false
+}

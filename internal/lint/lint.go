@@ -1,6 +1,6 @@
 // Package lint is the repository's custom static-analysis framework:
 // a stdlib-only (go/parser + go/types, no golang.org/x/tools) driver
-// plus the four analyzers that machine-check the invariants the rest
+// plus the eight analyzers that machine-check the invariants the rest
 // of the tree merely promises in comments:
 //
 //   - hotpath: functions annotated //tva:hotpath, and everything they
@@ -13,7 +13,18 @@
 //     telemetry.DropReason, and switches over DropReason must be
 //     exhaustive;
 //   - poolowner: a pooled *packet.Packet must reach exactly one
-//     Release or ownership handoff on every return path.
+//     Release or ownership handoff on every return path;
+//   - lockorder: mutex Lock/Unlock pairing per scope, a consistent
+//     global acquisition order, and no blocking operation while a
+//     //tva:hotpath function holds a lock;
+//   - atomicfield: a variable touched through sync/atomic anywhere is
+//     never accessed non-atomically elsewhere, and 64-bit atomic
+//     fields stay 8-aligned under 32-bit struct layout;
+//   - goleak: every go statement carries a provable shutdown edge
+//     (done-channel receive, WaitGroup, or a loop-free body);
+//   - metricname: metric series names come from the internal/metrics
+//     constants, and each data plane registers exactly the series its
+//     declared list promises.
 //
 // Findings can be suppressed one at a time with
 //
@@ -56,7 +67,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{HotPath, Determinism, DropReasonCheck, PoolOwner}
+	return []*Analyzer{HotPath, Determinism, DropReasonCheck, PoolOwner, LockOrder, AtomicField, GoLeak, MetricName}
 }
 
 // ByName returns the named analyzers, or an error naming the first

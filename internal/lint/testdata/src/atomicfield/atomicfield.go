@@ -1,0 +1,58 @@
+// Fixture for the atomicfield analyzer: mixed atomic/plain access and
+// 32-bit alignment of 64-bit atomic fields, next to the legal shapes.
+package atomicfield
+
+import "sync/atomic"
+
+// Good: 64-bit atomic field first in the struct, so it is 8-aligned
+// even under 32-bit layout, and every access goes through sync/atomic.
+type Good struct {
+	hits uint64
+	gen  uint32
+}
+
+func (g *Good) Inc() { atomic.AddUint64(&g.hits, 1) }
+
+func (g *Good) Snapshot() uint64 { return atomic.LoadUint64(&g.hits) }
+
+// Plain field: never touched atomically, free to use directly.
+func (g *Good) Gen() uint32 { return g.gen }
+
+// Bad layout: a uint32 pushes the atomic counter to offset 4 under
+// 32-bit rules.
+type Packed struct {
+	gen  uint32
+	hits uint64 // want "not 8-aligned"
+}
+
+func (p *Packed) Inc() { atomic.AddUint64(&p.hits, 1) }
+
+// Bad: the same field read and written without sync/atomic.
+func (p *Packed) Racy() uint64 {
+	p.hits = 0    // want "non-atomic access to hits"
+	return p.hits // want "non-atomic access to hits"
+}
+
+// Package-level atomic counter.
+var total uint64
+
+func AddTotal(n uint64) { atomic.AddUint64(&total, n) }
+
+func ReadTotal() uint64 {
+	return total // want "non-atomic access to total"
+}
+
+// Good: the typed instruments carry their own alignment guarantee and
+// an unexported payload, so neither rule applies.
+type Typed struct {
+	gen  uint32
+	hits atomic.Uint64
+}
+
+func (t *Typed) Inc() { t.hits.Add(1) }
+
+// Suppressed: a reader that runs strictly after all writers joined.
+func Drain(p *Packed) uint64 {
+	//lint:ignore atomicfield read happens after the worker pool is joined
+	return p.hits
+}

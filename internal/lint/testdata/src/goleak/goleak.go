@@ -1,0 +1,116 @@
+// Fixture for the goleak analyzer: goroutines with and without a
+// provable shutdown edge.
+package goleak
+
+import (
+	"sync"
+	"time"
+)
+
+type W struct {
+	done chan struct{}
+	in   chan int
+	wg   sync.WaitGroup
+	n    int
+}
+
+// Good: ticker loop with a stop-channel select — the shape tvarouter's
+// sampler uses.
+func (w *W) GoodTicker() {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				w.n++
+			case <-w.done:
+				return
+			}
+		}
+	}()
+}
+
+// Good: ranging an owned channel; the sender closes it.
+func (w *W) GoodRange() {
+	go func() {
+		for v := range w.in {
+			w.n += v
+		}
+	}()
+}
+
+// Good: WaitGroup-joined worker.
+func (w *W) GoodWG() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for i := 0; i < 8; i++ {
+			w.n++
+		}
+	}()
+}
+
+// Good: no loop — the body terminates by construction.
+func (w *W) GoodOnce() {
+	go func() {
+		w.n = len(w.in)
+	}()
+}
+
+// Bad: the channel from time.Tick never closes, so the range never
+// ends.
+func (w *W) BadTick() {
+	go func() { // want "no shutdown edge"
+		for range time.Tick(time.Second) {
+			w.n++
+		}
+	}()
+}
+
+// Bad: a bare ticker receive is not an exit signal.
+func (w *W) BadTickerOnly() {
+	t := time.NewTicker(time.Second)
+	go func() { // want "no shutdown edge"
+		for {
+			<-t.C
+			w.n++
+		}
+	}()
+}
+
+// Bad: spin loop.
+func (w *W) BadSpin() {
+	go func() { // want "no shutdown edge"
+		for {
+			w.n++
+		}
+	}()
+}
+
+// loop is the body behind BadNamed: the analyzer follows directly
+// named module functions.
+func (w *W) loop() {
+	for range time.Tick(time.Second) {
+		w.n++
+	}
+}
+
+func (w *W) BadNamed() {
+	go w.loop() // want "no shutdown edge"
+}
+
+// Bad: a function value cannot be resolved to a body.
+func Run(f func()) {
+	go f() // want "cannot resolve"
+}
+
+// Suppressed: a process-lifetime daemon, with the reason on record.
+func (w *W) Daemon() {
+	//lint:ignore goleak exposition server lives for the process lifetime
+	go func() {
+		for {
+			w.n++
+		}
+	}()
+}

@@ -1,0 +1,23 @@
+// Fixture for the metricname plane-coverage rule, loaded under the
+// simulator plane's import path: registers only the SharedSeries
+// names, so every sim-only series in metrics.SimSeries is a
+// missing-series finding (asserted by TestMetricNameCrossPlane
+// against the real exported lists).
+package metricsim
+
+import "tva/internal/metrics"
+
+func registerShared(r *metrics.Registry, fn func() float64) {
+	_ = r.Gauge(metrics.NameQueuePkts, nil, "", fn)
+	_ = r.Gauge(metrics.NameRegularQueues, nil, "", fn)
+	_ = r.Gauge(metrics.NameTokenBucket, nil, "", fn)
+	_ = r.Gauge(metrics.NameFlowCacheEntries, nil, "", fn)
+	_ = r.Counter(metrics.NameSchedDrops, nil, "", fn)
+	_ = r.Counter(metrics.NameDemotions, nil, "", fn)
+	_ = r.Gauge(metrics.NameTxBurstFill, nil, "", fn)
+	_ = r.Gauge(metrics.NameHealthState, nil, "", fn)
+	_ = r.Counter(metrics.NameHealthTransitions, nil, "", fn)
+
+	var s metrics.Sketch
+	_ = r.SketchQuantiles(metrics.NameQueueWait, nil, "", &s, 0.5, 0.99)
+}

@@ -253,14 +253,14 @@ func NewBenchMetrics(w *Workload) *BenchMetrics {
 			panic("overlay: bench metrics: " + err.Error())
 		}
 	}
-	must(m.Reg.CounterVar("tva_bench_forwarded_total", nil,
+	must(m.Reg.CounterVar(metrics.NameBenchForwarded, nil,
 		"Packets pushed through the Table 1 forwarding loop.", &m.forwarded))
-	must(m.Reg.CounterVar("tva_bench_demoted_total", nil,
+	must(m.Reg.CounterVar(metrics.NameBenchDemoted, nil,
 		"Forwarded packets that lost their class.", &m.demoted))
-	must(m.Reg.SketchQuantiles("tva_bench_wire_bytes", nil,
+	must(m.Reg.SketchQuantiles(metrics.NameBenchWireBytes, nil,
 		"Wire size of forwarded packets.", &m.wire, 0.5, 0.99))
 	cache := w.Router.Cache()
-	must(m.Reg.Gauge("tva_flowcache_entries", nil,
+	must(m.Reg.Gauge(metrics.NameFlowCacheEntries, nil,
 		"Live flow-cache entries at the bench router.",
 		func() float64 { return float64(cache.Len()) }))
 	m.Reg.Tick(m.now)

@@ -35,16 +35,16 @@ func (r *Router) Metrics(window int, health metrics.DetectorConfig) *RouterMetri
 	m := &RouterMetrics{Registry: reg, Health: det, router: r}
 
 	// Forwarding totals (overlay-plane series).
-	mustReg(reg.Counter("tva_router_received_total", nil,
+	mustReg(reg.Counter(metrics.NameRouterReceived, nil,
 		"Datagrams received on the router socket.",
 		func() float64 { return float64(r.Received.Load()) }))
-	mustReg(reg.Counter("tva_router_forwarded_total", nil,
+	mustReg(reg.Counter(metrics.NameRouterForwarded, nil,
 		"Packets routed toward a neighbour port.",
 		func() float64 { return float64(r.Forwarded.Load()) }))
-	mustReg(reg.Counter("tva_router_unroutable_total", nil,
+	mustReg(reg.Counter(metrics.NameRouterUnroutable, nil,
 		"Packets with no route and no default port.",
 		func() float64 { return float64(r.Unroutable.Load()) }))
-	mustReg(reg.Counter("tva_router_malformed_total", nil,
+	mustReg(reg.Counter(metrics.NameRouterMalformed, nil,
 		"Datagrams that failed TVA header parsing.",
 		func() float64 { return float64(r.Malformed.Load()) }))
 
@@ -52,26 +52,26 @@ func (r *Router) Metrics(window int, health metrics.DetectorConfig) *RouterMetri
 	// series; the simulator registers the same names).
 	for i := 1; i < telemetry.NumDropReasons; i++ {
 		reason := telemetry.DropReason(i)
-		mustReg(reg.Counter("tva_sched_drops_total", metrics.L("reason", reason.String()),
+		mustReg(reg.Counter(metrics.NameSchedDrops, metrics.L("reason", reason.String()),
 			"Packets dropped by link schedulers, by attributed reason.",
 			func() float64 { d := r.SchedDrops(); return float64(d.Get(reason)) }))
-		mustReg(reg.Counter("tva_demotions_total", metrics.L("reason", reason.String()),
+		mustReg(reg.Counter(metrics.NameDemotions, metrics.L("reason", reason.String()),
 			"Packets demoted to legacy service, by attributed cause.",
 			func() float64 { d := r.CoreDemotions(); return float64(d.Get(reason)) }))
 	}
 
-	mustReg(reg.Gauge("tva_flowcache_entries", nil,
+	mustReg(reg.Gauge(metrics.NameFlowCacheEntries, nil,
 		"Live flow-cache entries across shard replicas.",
 		func() float64 { return float64(r.FlowCacheEntries()) }))
-	mustReg(reg.Gauge("tva_queue_wait_ewma_us", nil,
+	mustReg(reg.Gauge(metrics.NameQueueWaitEWMA, nil,
 		"EWMA output-queue wait in microseconds (the hop-report value).",
 		func() float64 { return float64(r.QueueWaitMicros()) }))
-	mustReg(reg.SketchQuantiles("tva_queue_wait_ns", nil,
+	mustReg(reg.SketchQuantiles(metrics.NameQueueWait, nil,
 		"Output-queue wait quantiles in nanoseconds.",
 		&r.waitSketch, 0.5, 0.99))
-	mustReg(reg.Gauge("tva_rx_burst_fill", nil,
+	mustReg(reg.Gauge(metrics.NameRxBurstFill, nil,
 		"Mean datagrams per socket read burst.", r.RxBurstFill))
-	mustReg(reg.Gauge("tva_tx_burst_fill", nil,
+	mustReg(reg.Gauge(metrics.NameTxBurstFill, nil,
 		"Mean datagrams per send burst across ports.", r.TxBurstFill))
 
 	// Per-port scheduler gauges, labelled by neighbour address. Ports
@@ -90,34 +90,34 @@ func (r *Router) Metrics(window int, health metrics.DetectorConfig) *RouterMetri
 	r.mu.Unlock()
 	for i, k := range keys {
 		k, p := k, ports[i]
-		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("port", k, "class", "request"),
+		mustReg(reg.Gauge(metrics.NameQueuePkts, metrics.L("port", k, "class", "request"),
 			"Backlogged packets per port and class.",
 			func() float64 { return float64(portBacklog(p, 0)) }))
-		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("port", k, "class", "regular"),
+		mustReg(reg.Gauge(metrics.NameQueuePkts, metrics.L("port", k, "class", "regular"),
 			"Backlogged packets per port and class.",
 			func() float64 { return float64(portBacklog(p, 1)) }))
-		mustReg(reg.Gauge("tva_queue_pkts", metrics.L("port", k, "class", "legacy"),
+		mustReg(reg.Gauge(metrics.NameQueuePkts, metrics.L("port", k, "class", "legacy"),
 			"Backlogged packets per port and class.",
 			func() float64 { return float64(portBacklog(p, 2)) }))
-		mustReg(reg.Gauge("tva_regular_queues", metrics.L("port", k),
+		mustReg(reg.Gauge(metrics.NameRegularQueues, metrics.L("port", k),
 			"Live per-destination fair queues.",
 			func() float64 { return float64(portBacklog(p, 3)) }))
-		mustReg(reg.Gauge("tva_token_bucket_bytes", metrics.L("port", k),
+		mustReg(reg.Gauge(metrics.NameTokenBucket, metrics.L("port", k),
 			"Request-channel token bucket level in bytes.",
 			func() float64 { return portTokenLevel(p, r.clock) }))
-		mustReg(reg.Counter("tva_port_sent_pkts_total", metrics.L("port", k),
+		mustReg(reg.Counter(metrics.NamePortSent, metrics.L("port", k),
 			"Datagrams transmitted toward the neighbour.",
 			func() float64 { return float64(p.Sent.Load()) }))
-		mustReg(reg.Counter("tva_port_dropped_pkts_total", metrics.L("port", k),
+		mustReg(reg.Counter(metrics.NamePortDropped, metrics.L("port", k),
 			"Packets dropped at this port's scheduler.",
 			func() float64 { return float64(p.Dropped.Load()) }))
 	}
 
 	// Health (shared-name series).
-	mustReg(reg.Gauge("tva_health_state", nil,
+	mustReg(reg.Gauge(metrics.NameHealthState, nil,
 		"Attack-onset health: 0=healthy 1=degraded 2=under-attack 3=recovered.",
 		det.StateValue))
-	mustReg(reg.Counter("tva_health_transitions_total", nil,
+	mustReg(reg.Counter(metrics.NameHealthTransitions, nil,
 		"Health-state transitions since start.",
 		func() float64 { return float64(len(det.Transitions()) + det.Overflow()) }))
 	return m

@@ -51,9 +51,11 @@ done
 sleep 0.5
 
 echo "# metrics-smoke: scraping $url with tvatop -once"
-"$dir/tvatop" -once -require \
-	tva_router_received_total,tva_router_forwarded_total,tva_sched_drops_total,tva_demotions_total,tva_flowcache_entries,tva_queue_wait_ns,tva_queue_pkts,tva_regular_queues,tva_token_bucket_bytes,tva_rx_burst_fill,tva_tx_burst_fill,tva_health_state,tva_health_transitions_total,tva_router_received_total:rate \
-	"$url"
+# -require-set resolves to internal/metrics.OverlaySeries (plus the
+# :rate proof that the sampler ticked), so the required series set and
+# the router's registrations come from the same constants — the
+# metricname analyzer keeps both sides honest.
+"$dir/tvatop" -once -require-set overlay "$url"
 
 kill "$router_pid" 2>/dev/null || true
 wait "$router_pid" 2>/dev/null || true
