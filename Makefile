@@ -4,7 +4,10 @@ GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo local)
 # job raises it (make fuzz-smoke FUZZTIME=30s).
 FUZZTIME ?= 10s
 
-.PHONY: all build vet lint test race bench bench-guard bench-batch fuzz-smoke cover trace-smoke metrics-smoke check
+# Repo-total statement coverage floor enforced by `make cover`.
+COVER_FLOOR ?= 70
+
+.PHONY: all build vet lint test race bench bench-guard bench-batch fuzz-smoke cover trace-smoke metrics-smoke xcheck check
 
 all: check
 
@@ -61,12 +64,12 @@ fuzz-smoke:
 	go test ./internal/packet -run '^$$' -fuzz FuzzWireUnmarshal -fuzztime $(FUZZTIME)
 	go test ./internal/packet -run '^$$' -fuzz FuzzWireRoundTrip -fuzztime $(FUZZTIME)
 
-# cover writes a coverage profile and prints the per-function table;
-# the last line is the repo-total statement coverage CI surfaces in its
-# logs.
+# cover writes a coverage profile, then the gate script extracts the
+# repo-total statement coverage, surfaces it (in the GitHub job summary
+# when running in CI), and fails below $(COVER_FLOOR) percent.
 cover:
 	go test -vet=off -coverprofile=cover.out ./...
-	go tool cover -func=cover.out | tail -1
+	COVER_FLOOR=$(COVER_FLOOR) sh scripts/cover_gate.sh cover.out
 
 # trace-smoke round-trips a real flight-recorder dump through every
 # tvatrace subcommand: a short traced Fig. 9 run writes smoke.trace,
@@ -86,5 +89,13 @@ trace-smoke:
 # transitions and the emitted time series to be byte-identical.
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
+
+# xcheck cross-validates the two data planes: both canonical scenarios
+# (baseline, flood) run on the simulator and on a loopback overlay
+# deployment, and the gate fails on any out-of-tolerance divergence.
+# The JSON divergence report lands at xcheck_report.json (override with
+# XCHECK_REPORT=path).
+xcheck:
+	sh scripts/xcheck_smoke.sh
 
 check: build lint test race bench-guard bench-batch

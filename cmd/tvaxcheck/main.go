@@ -1,0 +1,93 @@
+// tvaxcheck cross-validates the two data planes: it runs scenario
+// specs on both the discrete-event simulator and an in-process
+// loopback overlay deployment, compares the shared metric series,
+// drop attribution, and queue-wait distributions, and exits non-zero
+// when any gated check exceeds its declared tolerance.
+//
+// Usage:
+//
+//	tvaxcheck                      # run the canonical scenarios (baseline, flood)
+//	tvaxcheck baseline             # run one builtin by name
+//	tvaxcheck -scenario spec.json  # run a JSON scenario spec
+//	tvaxcheck -o report.json       # also write the JSON divergence report
+//	tvaxcheck -list                # list builtin scenarios
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tva/internal/xcheck"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list builtin scenarios and exit")
+		specPath = flag.String("scenario", "", "path to a JSON scenario spec (may repeat via args)")
+		out      = flag.String("o", "", "write the JSON divergence report to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range xcheck.Builtins {
+			fmt.Printf("%-12s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	var scenarios []xcheck.Scenario
+	if *specPath != "" {
+		sc, err := xcheck.LoadScenario(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		scenarios = append(scenarios, sc)
+	}
+	for _, name := range flag.Args() {
+		sc, ok := xcheck.Builtin(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown scenario %q (try -list)", name))
+		}
+		scenarios = append(scenarios, sc)
+	}
+	if len(scenarios) == 0 {
+		scenarios = xcheck.Builtins
+	}
+
+	var comparisons []*xcheck.Comparison
+	for _, sc := range scenarios {
+		fmt.Fprintf(os.Stderr, "xcheck: running %s on both planes...\n", sc.Name)
+		c, err := xcheck.RunScenario(sc)
+		if err != nil {
+			fatal(err)
+		}
+		comparisons = append(comparisons, c)
+	}
+	report := xcheck.NewReport(comparisons)
+
+	if err := report.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if !report.Pass {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tvaxcheck:", err)
+	os.Exit(1)
+}

@@ -95,6 +95,25 @@ func (s *Sketch) Observe(v int64) {
 	s.sum.Add(v)
 }
 
+// SketchBuckets is the number of power-of-two buckets a Sketch holds:
+// bucket 0 counts zero samples, bucket i counts samples with bit
+// length i. Exported so cross-plane comparison code (internal/xcheck)
+// can size its CDF scratch without reaching into the sketch.
+const SketchBuckets = sketchBuckets
+
+// Counts returns a snapshot of the per-bucket observation counts.
+// Reads are tearing-tolerant in the same sense as Quantile: a
+// concurrent Observe may land between bucket loads, never corrupt
+// them. This is the raw material for distribution comparisons
+// (max-CDF-gap between the two data planes' wait sketches).
+func (s *Sketch) Counts() [SketchBuckets]uint64 {
+	var out [SketchBuckets]uint64
+	for i := range s.counts {
+		out[i] = s.counts[i].Load()
+	}
+	return out
+}
+
 // Count returns the number of observations.
 func (s *Sketch) Count() uint64 { return s.count.Load() }
 

@@ -27,6 +27,7 @@ import (
 	"tva/internal/pathid"
 	"tva/internal/sched"
 	"tva/internal/telemetry"
+	"tva/internal/trace"
 	"tva/internal/tvatime"
 )
 
@@ -57,6 +58,15 @@ type RouterConfig struct {
 	// on the receive goroutine. Requires Batch > 1 to matter: the
 	// scatter unit is the receive burst.
 	Shards int
+	// Spans, if non-nil, records packet-lifecycle spans: every received
+	// packet gets a fresh trace ID at this router's ingress and its
+	// enqueue/dequeue/tx edges at the output ports are recorded through
+	// the sink (which serializes access to the underlying unsynchronized
+	// trace.Recorder). Trace IDs are not carried on the wire, so a
+	// multi-router path yields one per-hop span fragment per router —
+	// exactly what per-hop wait aggregation (trace.AggregateHops) needs.
+	// Must be set before NewRouter; it cannot be attached later.
+	Spans *SpanSink
 }
 
 // Router is a userspace TVA capability router.
@@ -70,6 +80,12 @@ type Router struct {
 	// shards is the flow-hashed processing fan-out (nil unsharded).
 	rx     *batchConn
 	shards *shardEngine
+
+	// coreMu guards the unsharded engine's plain counters (Stats,
+	// Demotions, flow cache): held by the receive goroutine around
+	// Process/ProcessBatch and by snapshot readers (metrics gauges).
+	// Sharded routers guard per worker instead (shardWorker.mu).
+	coreMu sync.Mutex
 
 	mu     sync.Mutex
 	routes map[packet.Addr]*port
@@ -106,12 +122,69 @@ type port struct {
 	cond *sync.Cond
 	q    sched.Scheduler
 
+	// waitSketch streams this port's per-packet output-queue waits
+	// (nanoseconds). The router-wide sketch mixes every port's traffic;
+	// the per-port one lets cross-plane comparison read the congested
+	// link in isolation, the way the simulator's bottleneck sketch does.
+	waitSketch metrics.Sketch
+
+	// spans/hop: packet-lifecycle recording for this port's queue
+	// (nil/NoHop when RouterConfig.Spans is unset).
+	spans *SpanSink
+	hop   uint16
+
 	// Sent/Dropped and the burst counters are written by the port
 	// goroutine and read concurrently by diagnostics — atomics for the
 	// same reason as the Router totals. TxBursts/TxBurstPkts count
 	// egress send bursts and the datagrams they carried.
 	Sent, Dropped         atomic.Uint64
 	TxBursts, TxBurstPkts atomic.Uint64
+
+	// nextTx is when the emulated link next frees up; only the port's
+	// own output goroutine touches it (see pace).
+	nextTx tvatime.Time
+}
+
+// paceCredit bounds how far behind its emulated transmit schedule a
+// port may fall before catch-up credit stops accruing: sleep overshoot
+// within this window is repaid by back-to-back sends, so the effective
+// link rate converges to bps instead of drifting below it, while an
+// idle link cannot bank credit for an unbounded burst later.
+const paceCredit = 5 * time.Millisecond
+
+// pace blocks until the emulated link has finished serializing
+// wireBytes. Credit-based: the deadline advances from the previous
+// deadline, not from "now", so timer overshoot on one packet is repaid
+// on the next instead of compounding into a lower effective rate.
+func (p *port) pace(clock tvatime.Clock, wireBytes int) {
+	if p.bps <= 0 || wireBytes <= 0 {
+		return
+	}
+	now := clock.Now()
+	if floor := now.Add(-paceCredit); p.nextTx.Before(floor) {
+		p.nextTx = floor
+	}
+	p.nextTx = p.nextTx.Add(time.Duration(int64(wireBytes) * 8 * int64(time.Second) / p.bps))
+	if d := p.nextTx.Sub(now); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// span records one lifecycle edge for pkt at this port. A nil check
+// and, when recording, one mutex crossing — the overlay is not the
+// zero-alloc hot path, so clarity wins here.
+func (p *port) span(pkt *packet.Packet, edge trace.Edge, now tvatime.Time) {
+	if p.spans == nil || pkt.TraceID == 0 {
+		return
+	}
+	p.spans.Record(trace.Span{
+		ID:   pkt.TraceID,
+		Time: now,
+		Src:  uint32(pkt.Src), Dst: uint32(pkt.Dst),
+		Size: uint32(pkt.Size),
+		Hop:  p.hop,
+		Edge: edge, Class: uint8(pkt.Class),
+	})
 }
 
 // NewRouter binds the router's socket and starts its receive loop.
@@ -208,6 +281,8 @@ func (r *Router) CoreStats() core.RouterStats {
 	if r.shards != nil {
 		return r.shards.stats()
 	}
+	r.coreMu.Lock()
+	defer r.coreMu.Unlock()
 	return r.core.Stats
 }
 
@@ -216,17 +291,23 @@ func (r *Router) CoreDemotions() telemetry.DropCounters {
 	if r.shards != nil {
 		return r.shards.demotions()
 	}
+	r.coreMu.Lock()
+	defer r.coreMu.Unlock()
 	return r.core.Demotions
 }
 
 // FlowCacheEntries sums live flow-cache entries across shard replicas.
 func (r *Router) FlowCacheEntries() int {
 	if r.shards == nil {
+		r.coreMu.Lock()
+		defer r.coreMu.Unlock()
 		return r.core.Cache().Len()
 	}
 	n := 0
 	for _, w := range r.shards.workers {
+		w.mu.Lock()
 		n += w.core.Cache().Len()
+		w.mu.Unlock()
 	}
 	return n
 }
@@ -239,6 +320,39 @@ func (r *Router) QueueWaitMicros() uint32 { return r.waitEWMA.Load() }
 // waits (nanoseconds), the overlay's source for the shared
 // tva_queue_wait_ns series.
 func (r *Router) WaitSketch() *metrics.Sketch { return &r.waitSketch }
+
+// PortWaitSketch returns the per-port wait sketch for the port toward
+// the given neighbour UDP address, or nil if no such port exists. The
+// cross-plane harness reads the congested link's port here, so its
+// distribution lines up with the simulator's bottleneck sketch instead
+// of mixing in reverse-direction ports.
+func (r *Router) PortWaitSketch(neighbor string) *metrics.Sketch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.ports[neighbor]; ok {
+		return &p.waitSketch
+	}
+	return nil
+}
+
+// PortSchedDrops returns the reason-attributed drop counts of the
+// scheduler on the port toward neighbor (zero counters when the port
+// does not exist or its scheduler does not attribute drops).
+func (r *Router) PortSchedDrops(neighbor string) telemetry.DropCounters {
+	r.mu.Lock()
+	p := r.ports[neighbor]
+	r.mu.Unlock()
+	var out telemetry.DropCounters
+	if p == nil {
+		return out
+	}
+	p.mu.Lock()
+	if rc, ok := p.q.(sched.ReasonCounter); ok {
+		out.Merge(rc.DropReasons())
+	}
+	p.mu.Unlock()
+	return out
+}
 
 // RequestBacklog sums backlogged request-class packets across all
 // ports — the request-channel pressure signal the health detector
@@ -263,9 +377,10 @@ func (r *Router) RequestBacklog() int {
 
 // observeWait folds one packet's measured queue wait into the EWMA
 // (gain 1/8, matching TCP's RTT smoothing) and streams it into the
-// wait sketch.
-func (r *Router) observeWait(d time.Duration) {
+// router-wide and per-port wait sketches.
+func (r *Router) observeWait(p *port, d time.Duration) {
 	r.waitSketch.Observe(int64(d))
+	p.waitSketch.Observe(int64(d))
 	us := uint32(d / time.Microsecond)
 	for {
 		old := r.waitEWMA.Load()
@@ -302,8 +417,12 @@ func (r *Router) portFor(to *net.UDPAddr) *port {
 	if p, ok := r.ports[key]; ok {
 		return p
 	}
-	p := &port{to: to, bps: r.cfg.LinkBps, q: r.linkSched()}
+	p := &port{to: to, bps: r.cfg.LinkBps, q: r.linkSched(), hop: trace.NoHop}
 	p.cond = sync.NewCond(&p.mu)
+	if r.cfg.Spans != nil {
+		p.spans = r.cfg.Spans
+		p.hop = r.cfg.Spans.RegisterHop(r.Addr().String() + "->" + key)
+	}
 	r.ports[key] = p
 	r.wg.Add(1)
 	if bs, ok := p.q.(sched.BatchScheduler); ok && r.cfg.Batch > 1 {
@@ -477,10 +596,18 @@ func (r *Router) receiveLoop() {
 			continue
 		}
 		pkt.TTL--
+		if r.cfg.Spans != nil {
+			// Fresh ID per router: trace IDs are in-memory only, never
+			// on the wire, so each router contributes its own per-hop
+			// span fragment to the shared recorder.
+			pkt.TraceID = r.cfg.Spans.NextID()
+		}
 		// Interface index 0: the overlay's single socket is one
 		// ingress; deployments with multiple trust boundaries run one
 		// router process per boundary.
+		r.coreMu.Lock()
 		r.core.Process(pkt, 0, r.clock.Now())
+		r.coreMu.Unlock()
 		out := r.route(pkt.Dst)
 		if out == nil {
 			r.Unroutable.Add(1)
@@ -526,6 +653,9 @@ func (r *Router) receiveLoopBatched() {
 				continue
 			}
 			pkt.TTL--
+			if r.cfg.Spans != nil {
+				pkt.TraceID = r.cfg.Spans.NextID()
+			}
 			b.Append(pkt)
 		}
 		if b.Len() == 0 {
@@ -538,7 +668,9 @@ func (r *Router) receiveLoopBatched() {
 		if r.shards != nil {
 			r.shards.process(b, now)
 		} else {
+			r.coreMu.Lock()
 			r.core.ProcessBatch(b, 0, now)
+			r.coreMu.Unlock()
 		}
 		// Forward in arrival order, flushing maximal same-port runs so
 		// each run costs one port lock and one scheduler batch call.
@@ -571,6 +703,7 @@ func (r *Router) receiveLoopBatched() {
 
 func (p *port) enqueue(pkt *packet.Packet, now tvatime.Time) {
 	pkt.EnqueuedAt = now
+	p.span(pkt, trace.EdgeEnqueue, now)
 	p.mu.Lock()
 	if !p.q.Enqueue(pkt, now) {
 		p.Dropped.Add(1)
@@ -590,6 +723,7 @@ func (p *port) enqueueBatch(b *packet.Batch, now tvatime.Time) {
 	for _, pkt := range b.Pkts() {
 		if pkt != nil {
 			pkt.EnqueuedAt = now
+			p.span(pkt, trace.EdgeEnqueue, now)
 		}
 	}
 	p.mu.Lock()
@@ -634,6 +768,7 @@ func (r *Router) portLoopBatched(p *port, bs sched.BatchScheduler, tx *batchConn
 	burst := r.cfg.Batch
 	pkts := make([]*packet.Packet, burst)
 	out := make([][]byte, 0, burst)
+	txs := make([]trace.Span, 0, burst)
 	backing := make([][]byte, burst)
 	for i := range backing {
 		backing[i] = make([]byte, 0, 2048)
@@ -673,14 +808,23 @@ func (r *Router) portLoopBatched(p *port, bs sched.BatchScheduler, tx *batchConn
 
 		now := r.clock.Now()
 		out = out[:0]
+		txs = txs[:0]
 		wireBytes := 0
 		for i := 0; i < n; i++ {
 			pkt := pkts[i]
 			pkts[i] = nil
 			if pkt.EnqueuedAt > 0 {
 				if w := now.Sub(pkt.EnqueuedAt); w >= 0 {
-					r.observeWait(w)
+					r.observeWait(p, w)
 				}
+			}
+			p.span(pkt, trace.EdgeDequeue, now)
+			if p.spans != nil && pkt.TraceID != 0 {
+				txs = append(txs, trace.Span{
+					ID: pkt.TraceID, Src: uint32(pkt.Src), Dst: uint32(pkt.Dst),
+					Size: uint32(pkt.Size), Hop: p.hop,
+					Edge: trace.EdgeTx, Class: uint8(pkt.Class),
+				})
 			}
 			data, err := pkt.Marshal(backing[i][:0])
 			packet.Release(pkt)
@@ -696,10 +840,15 @@ func (r *Router) portLoopBatched(p *port, bs sched.BatchScheduler, tx *batchConn
 			p.Sent.Add(uint64(sent))
 			p.TxBursts.Add(1)
 			p.TxBurstPkts.Add(uint64(len(out)))
+			if p.spans != nil && len(txs) > 0 {
+				done := r.clock.Now()
+				for i := range txs {
+					txs[i].Time = done
+					p.spans.Record(txs[i])
+				}
+			}
 		}
-		if p.bps > 0 && wireBytes > 0 {
-			time.Sleep(time.Duration(int64(wireBytes) * 8 * int64(time.Second) / p.bps))
-		}
+		p.pace(r.clock, wireBytes)
 	}
 }
 
@@ -741,9 +890,20 @@ func (r *Router) portLoop(p *port) {
 		}
 		p.mu.Unlock()
 
+		now := r.clock.Now()
 		if pkt.EnqueuedAt > 0 {
-			if w := r.clock.Now().Sub(pkt.EnqueuedAt); w >= 0 {
-				r.observeWait(w)
+			if w := now.Sub(pkt.EnqueuedAt); w >= 0 {
+				r.observeWait(p, w)
+			}
+		}
+		p.span(pkt, trace.EdgeDequeue, now)
+		wantTx := p.spans != nil && pkt.TraceID != 0
+		var txSpan trace.Span
+		if wantTx {
+			txSpan = trace.Span{
+				ID: pkt.TraceID, Src: uint32(pkt.Src), Dst: uint32(pkt.Dst),
+				Size: uint32(pkt.Size), Hop: p.hop,
+				Edge: trace.EdgeTx, Class: uint8(pkt.Class),
 			}
 		}
 		data, err := pkt.Marshal(buf[:0])
@@ -754,9 +914,11 @@ func (r *Router) portLoop(p *port) {
 		buf = data[:0]
 		if _, err := r.conn.WriteToUDP(data, p.to); err == nil {
 			p.Sent.Add(1)
+			if wantTx {
+				txSpan.Time = r.clock.Now()
+				p.spans.Record(txSpan)
+			}
 		}
-		if p.bps > 0 {
-			time.Sleep(time.Duration(int64(len(data)) * 8 * int64(time.Second) / p.bps))
-		}
+		p.pace(r.clock, len(data))
 	}
 }

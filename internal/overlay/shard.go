@@ -32,6 +32,10 @@ type shardJob struct {
 }
 
 type shardWorker struct {
+	// mu guards the replica's plain counters (Stats, Demotions, flow
+	// cache): held around ProcessBatch on the worker goroutine and by
+	// aggregate readers (stats, demotions, FlowCacheEntries).
+	mu   sync.Mutex
 	core *core.Router
 	in   chan shardJob
 }
@@ -78,7 +82,9 @@ func newShardEngine(n int, mk func() *core.Router) *shardEngine {
 				for _, idx := range job.idxs {
 					scratch.Append(job.b.At(idx))
 				}
+				w.mu.Lock()
 				w.core.ProcessBatch(scratch, 0, job.now)
+				w.mu.Unlock()
 				for j, idx := range job.idxs {
 					job.b.SetClass(idx, scratch.Class(j))
 				}
@@ -126,7 +132,9 @@ func (e *shardEngine) close() {
 func (e *shardEngine) stats() core.RouterStats {
 	var total core.RouterStats
 	for _, w := range e.workers {
+		w.mu.Lock()
 		s := w.core.Stats
+		w.mu.Unlock()
 		total.Requests += s.Requests
 		total.RegularHit += s.RegularHit
 		total.RegularMiss += s.RegularMiss
@@ -142,7 +150,9 @@ func (e *shardEngine) stats() core.RouterStats {
 func (e *shardEngine) demotions() telemetry.DropCounters {
 	var total telemetry.DropCounters
 	for _, w := range e.workers {
+		w.mu.Lock()
 		total.Merge(&w.core.Demotions)
+		w.mu.Unlock()
 	}
 	return total
 }

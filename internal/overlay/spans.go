@@ -1,0 +1,71 @@
+// SpanSink: packet-lifecycle tracing for the concurrent overlay.
+// trace.Recorder is deliberately unsynchronized (the discrete-event
+// simulator is single-goroutine and its per-call Seq counter is what
+// makes same-seed dumps byte-identical); the overlay's receive and
+// port goroutines record concurrently, so they go through this
+// mutex-serialized sink instead. One sink can be shared by every
+// router of an in-process topology, producing a single causally
+// ordered recorder for the whole deployment.
+package overlay
+
+import (
+	"sync"
+
+	"tva/internal/trace"
+)
+
+// SpanSink serializes span recording from concurrent overlay
+// goroutines into one trace.Recorder.
+type SpanSink struct {
+	mu  sync.Mutex
+	rec *trace.Recorder
+}
+
+// NewSpanSink wraps rec. capacity <= 0 on the recorder side follows
+// trace.NewRecorder's defaulting; the sink itself holds no spans.
+func NewSpanSink(rec *trace.Recorder) *SpanSink {
+	return &SpanSink{rec: rec}
+}
+
+// NextID issues the next monotonic trace ID.
+func (s *SpanSink) NextID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.NextID()
+}
+
+// Record appends one span.
+func (s *SpanSink) Record(sp trace.Span) {
+	s.mu.Lock()
+	s.rec.Record(sp)
+	s.mu.Unlock()
+}
+
+// RegisterHop interns a hop name and returns its span Hop id.
+func (s *SpanSink) RegisterHop(name string) uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.RegisterHop(name)
+}
+
+// HopName resolves a hop id to its registered name, serialized against
+// concurrent registration.
+func (s *SpanSink) HopName(h uint16) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.HopName(h)
+}
+
+// Recorder returns the underlying recorder. Safe to read (Snapshot,
+// HopName) once the routers feeding the sink have been closed; while
+// they run, reads race recording and must go through the sink's
+// methods instead.
+func (s *SpanSink) Recorder() *trace.Recorder { return s.rec }
+
+// Snapshot returns the retained spans in causal order, serialized
+// against concurrent recording (usable while routers are live).
+func (s *SpanSink) Snapshot() []trace.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.Snapshot()
+}

@@ -1,0 +1,166 @@
+package xcheck
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tva/internal/metrics"
+)
+
+func TestRelDelta(t *testing.T) {
+	cases := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{10, 10, 0},
+		{10, 5, 0.5},
+		{5, 10, 0.5},
+		{0, 4, 1},
+		{-10, 10, 2},
+	}
+	for _, c := range cases {
+		if got := relDelta(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("relDelta(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDropMixTVD(t *testing.T) {
+	sim := &PlaneResult{DropsTotal: 100, DropReasons: map[string]uint64{"legacy-queue-full": 100}}
+	real := &PlaneResult{DropsTotal: 100, DropReasons: map[string]uint64{"legacy-queue-full": 100}}
+	if tvd, _ := dropMixTVD(sim, real); tvd != 0 {
+		t.Errorf("identical mixes: tvd = %v, want 0", tvd)
+	}
+
+	real.DropReasons = map[string]uint64{"regular-queue-full": 100}
+	if tvd, _ := dropMixTVD(sim, real); tvd != 1 {
+		t.Errorf("disjoint mixes: tvd = %v, want 1", tvd)
+	}
+
+	real.DropReasons = map[string]uint64{"legacy-queue-full": 50, "regular-queue-full": 50}
+	if tvd, _ := dropMixTVD(sim, real); math.Abs(tvd-0.5) > 1e-12 {
+		t.Errorf("half-shifted mix: tvd = %v, want 0.5", tvd)
+	}
+
+	// Below minimum mass on both planes: not evaluated.
+	lo1 := &PlaneResult{DropsTotal: 3, DropReasons: map[string]uint64{"filter": 3}}
+	lo2 := &PlaneResult{DropsTotal: 5, DropReasons: map[string]uint64{"demoted": 5}}
+	tvd, note := dropMixTVD(lo1, lo2)
+	if tvd != 0 || !strings.Contains(note, "both planes") {
+		t.Errorf("low mass both: tvd = %v note = %q", tvd, note)
+	}
+
+	// One plane substantial, one negligible: deferred to drop_rate.
+	tvd, note = dropMixTVD(sim, lo2)
+	if tvd != 0 || !strings.Contains(note, "drop_rate") {
+		t.Errorf("low mass one: tvd = %v note = %q", tvd, note)
+	}
+}
+
+func TestWaitCDFGap(t *testing.T) {
+	var a, b [metrics.SketchBuckets]uint64
+
+	if g := waitCDFGap(a, b, 0, 0); g != 0 {
+		t.Errorf("both empty: gap = %v, want 0", g)
+	}
+	a[20] = 100
+	if g := waitCDFGap(a, b, 0, 0); g != 1 {
+		t.Errorf("one empty: gap = %v, want 1", g)
+	}
+	b[20] = 50
+	if g := waitCDFGap(a, b, 0, 0); g != 0 {
+		t.Errorf("identical shapes: gap = %v, want 0", g)
+	}
+
+	// Mass split below the floor differs, above it agrees: the floor
+	// collapse must absorb the below-floor disagreement.
+	a, b = [metrics.SketchBuckets]uint64{}, [metrics.SketchBuckets]uint64{}
+	a[0], b[5] = 100, 100 // both "negligible wait", different buckets
+	a[25], b[25] = 100, 100
+	if g := waitCDFGap(a, b, 0, 0); g != 0.5 {
+		t.Errorf("no floor: gap = %v, want 0.5", g)
+	}
+	if g := waitCDFGap(a, b, 18, 0); g != 0 {
+		t.Errorf("floored: gap = %v, want 0", g)
+	}
+
+	// A rigid one-bucket shift vanishes inside the shift allowance but
+	// fails exact alignment.
+	a, b = [metrics.SketchBuckets]uint64{}, [metrics.SketchBuckets]uint64{}
+	a[24], a[25], a[26] = 10, 80, 10
+	b[25], b[26], b[27] = 10, 80, 10
+	if g := waitCDFGap(a, b, 0, 0); g < 0.8 {
+		t.Errorf("shifted, no allowance: gap = %v, want >= 0.8", g)
+	}
+	if g := waitCDFGap(a, b, 0, 1); g != 0 {
+		t.Errorf("shifted, allowance 1: gap = %v, want 0", g)
+	}
+
+	// A genuine shape divergence survives the shift allowance.
+	a, b = [metrics.SketchBuckets]uint64{}, [metrics.SketchBuckets]uint64{}
+	a[25] = 100                      // concentrated
+	b[20], b[25], b[30] = 34, 33, 33 // spread out
+	if g := waitCDFGap(a, b, 0, 1); g < 0.3 {
+		t.Errorf("shape divergence: gap = %v, want >= 0.3", g)
+	}
+}
+
+func TestShiftCountsPreservesMass(t *testing.T) {
+	var c [metrics.SketchBuckets]uint64
+	c[0], c[1], c[40], c[metrics.SketchBuckets-1] = 7, 11, 13, 17
+	for _, k := range []int{-3, -1, 0, 1, 3, metrics.SketchBuckets + 5} {
+		if got := sketchTotal(shiftCounts(c, k)); got != sketchTotal(c) {
+			t.Errorf("shift %d: total = %d, want %d", k, got, sketchTotal(c))
+		}
+	}
+	s := shiftCounts(c, 2)
+	if s[42] != 13 || s[metrics.SketchBuckets-1] != 17 {
+		t.Errorf("shift 2: bucket 42 = %d (want 13), top = %d (want 17)", s[42], s[metrics.SketchBuckets-1])
+	}
+}
+
+func TestCompareGating(t *testing.T) {
+	sc := Scenario{Name: "t"}.withDefaults()
+	sim := &PlaneResult{Plane: "sim", LegitSent: 100, LegitDelivered: 100,
+		SharedMetrics: map[string]float64{"tva_flowcache_entries": 10}}
+	real := &PlaneResult{Plane: "real", LegitSent: 100, LegitDelivered: 100,
+		SharedMetrics: map[string]float64{"tva_flowcache_entries": 10}}
+	c := Compare(sc, sim, real)
+	if !c.Pass {
+		t.Fatalf("identical planes should pass: %+v", c.Checks)
+	}
+	for _, chk := range c.Checks {
+		if strings.HasPrefix(chk.Name, "metric:") && chk.Gated {
+			t.Errorf("metric check %q gated without a declared tolerance", chk.Name)
+		}
+	}
+
+	// An out-of-tolerance gated check fails the comparison.
+	real.LegitDelivered = 50
+	c = Compare(sc, sim, real)
+	if c.Pass {
+		t.Fatal("halved delivery should fail delivered_fraction")
+	}
+
+	// A declared metric tolerance gates that series.
+	real.LegitDelivered = 100
+	real.SharedMetrics["tva_flowcache_entries"] = 40
+	sc.Tolerances = map[string]float64{"metric:tva_flowcache_entries": 0.10}
+	c = Compare(sc, sim, real)
+	if c.Pass {
+		t.Fatal("gated metric delta 0.75 should fail its 0.10 tolerance")
+	}
+	found := false
+	for _, chk := range c.Checks {
+		if chk.Name == "metric:tva_flowcache_entries" {
+			found = true
+			if !chk.Gated || chk.Pass {
+				t.Errorf("expected gated failing metric check, got %+v", chk)
+			}
+		}
+	}
+	if !found {
+		t.Error("metric:tva_flowcache_entries check missing")
+	}
+}

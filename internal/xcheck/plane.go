@@ -1,0 +1,163 @@
+// PlaneResult: the structured extract both runners produce, aligned
+// so compare.go can difference them field by field. Flows align by
+// construction — both planes use exp.UserAddr(i)/exp.AttackerAddr(i)/
+// exp.DestAddr — and hops align by position along the forward path.
+package xcheck
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tva/internal/metrics"
+	"tva/internal/telemetry"
+	"tva/internal/trace"
+)
+
+// FlowCount is one sender's message tally on one plane.
+type FlowCount struct {
+	Addr      string `json:"addr"`
+	Sent      uint64 `json:"sent"`
+	Delivered uint64 `json:"delivered"`
+}
+
+// HopWait is one forward-path hop's span-derived wait aggregate.
+type HopWait struct {
+	Name       string  `json:"name"`
+	Visits     int     `json:"visits"`
+	MeanWaitUS float64 `json:"mean_wait_us"`
+}
+
+// PlaneResult is one plane's structured scenario outcome.
+type PlaneResult struct {
+	Plane string `json:"plane"` // "sim" or "real"
+
+	LegitSent       uint64 `json:"legit_sent"`
+	LegitDelivered  uint64 `json:"legit_delivered"`
+	AttackSent      uint64 `json:"attack_sent"`
+	AttackDelivered uint64 `json:"attack_delivered"`
+
+	PerFlow []FlowCount `json:"per_flow"`
+
+	// Bottleneck drop attribution (forward direction), by reason name.
+	DropReasons map[string]uint64 `json:"drop_reasons,omitempty"`
+	DropsTotal  uint64            `json:"drops_total"`
+
+	// DemotionsTotal counts capability-check demotions across the
+	// plane's routers.
+	DemotionsTotal uint64 `json:"demotions_total"`
+
+	// WaitCounts is the bottleneck queue-wait sketch's per-bucket
+	// counts (power-of-two nanosecond buckets, bucket 0 = zero wait).
+	WaitCounts [metrics.SketchBuckets]uint64 `json:"wait_counts"`
+
+	// SharedMetrics is the final scrape restricted to the shared-name
+	// contract, with the overlay's per-port label collapsed (summed)
+	// so both planes key identically.
+	SharedMetrics map[string]float64 `json:"shared_metrics"`
+
+	// Hops are the forward-path per-hop wait aggregates from the trace
+	// spans (informational: units are virtual vs wall nanoseconds).
+	Hops []HopWait `json:"hops,omitempty"`
+}
+
+// DeliveredFraction is delivered/sent for legitimate messages.
+func (p *PlaneResult) DeliveredFraction() float64 {
+	if p.LegitSent == 0 {
+		return 1
+	}
+	return float64(p.LegitDelivered) / float64(p.LegitSent)
+}
+
+// Offered is the total injected load in messages/packets.
+func (p *PlaneResult) Offered() uint64 { return p.LegitSent + p.AttackSent }
+
+// DropRate is bottleneck drops per offered packet.
+func (p *PlaneResult) DropRate() float64 {
+	if p.Offered() == 0 {
+		return 0
+	}
+	return float64(p.DropsTotal) / float64(p.Offered())
+}
+
+// DemotionRate is demotions per offered packet.
+func (p *PlaneResult) DemotionRate() float64 {
+	if p.Offered() == 0 {
+		return 0
+	}
+	return float64(p.DemotionsTotal) / float64(p.Offered())
+}
+
+// dropReasonMap converts counters into a name-keyed map of nonzero
+// reasons.
+func dropReasonMap(d telemetry.DropCounters) map[string]uint64 {
+	out := map[string]uint64{}
+	for i := 1; i < telemetry.NumDropReasons; i++ {
+		r := telemetry.DropReason(i)
+		if n := d.Get(r); n > 0 {
+			out[r.String()] = n
+		}
+	}
+	return out
+}
+
+// sharedMetrics extracts the SharedSeries samples from a rendered
+// registry, collapsing any "port" label (the overlay registers one
+// series per neighbour port; the simulator has a single bottleneck) by
+// summing across its values.
+func sharedMetrics(reg *metrics.Registry) (map[string]float64, error) {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	scrape, err := metrics.ParseProm(&buf)
+	if err != nil {
+		return nil, err
+	}
+	shared := map[string]bool{}
+	for _, n := range metrics.SharedSeries {
+		shared[n] = true
+	}
+	out := map[string]float64{}
+	for _, s := range scrape.Samples {
+		if !shared[s.Name] {
+			continue
+		}
+		var parts []string
+		for _, l := range s.Labels {
+			if l.Key == "port" {
+				continue
+			}
+			parts = append(parts, l.Key+"="+l.Value)
+		}
+		id := s.Name
+		if len(parts) > 0 {
+			sort.Strings(parts)
+			id += "{" + strings.Join(parts, ",") + "}"
+		}
+		out[id] += s.Value
+	}
+	return out, nil
+}
+
+// hopWaits aggregates forward-path (any source toward dst) waits per
+// hop from a span snapshot.
+func hopWaits(spans []trace.Span, hopName func(uint16) string, dst uint32) []HopWait {
+	stats := trace.AnalyzeAll(spans)
+	aggs := trace.AggregateHops(stats, 0, dst)
+	out := make([]HopWait, 0, len(aggs))
+	for _, a := range aggs {
+		name := hopName(a.Hop)
+		if name == "" {
+			name = fmt.Sprintf("hop-%d", a.Hop)
+		}
+		out = append(out, HopWait{
+			Name:       name,
+			Visits:     a.Visits,
+			MeanWaitUS: float64(a.MeanWait()) / 1e3,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,95 @@
+// Report rendering: a human-readable text table per scenario and a
+// machine-readable JSON document for the CI artifact.
+package xcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report bundles every scenario comparison of one tvaxcheck run.
+type Report struct {
+	Comparisons []*Comparison `json:"comparisons"`
+	Pass        bool          `json:"pass"`
+}
+
+// NewReport wraps comparisons and computes the overall verdict.
+func NewReport(cs []*Comparison) *Report {
+	r := &Report{Comparisons: cs, Pass: true}
+	for _, c := range cs {
+		if !c.Pass {
+			r.Pass = false
+		}
+	}
+	return r
+}
+
+// WriteJSON emits the full report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the divergence tables.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, c := range r.Comparisons {
+		if err := c.writeText(w); err != nil {
+			return err
+		}
+	}
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	_, err := fmt.Fprintf(w, "overall: %s\n", verdict)
+	return err
+}
+
+func (c *Comparison) writeText(w io.Writer) error {
+	verdict := "PASS"
+	if !c.Pass {
+		verdict = "FAIL"
+	}
+	if _, err := fmt.Fprintf(w, "scenario %-12s %s\n", c.Scenario.Name, verdict); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  offered: sim %d (legit %d + attack %d) | real %d (legit %d + attack %d)\n",
+		c.Sim.Offered(), c.Sim.LegitSent, c.Sim.AttackSent,
+		c.Real.Offered(), c.Real.LegitSent, c.Real.AttackSent)
+	fmt.Fprintf(w, "  %-44s %12s %12s %9s %9s  %s\n",
+		"check", "sim", "real", "delta", "tol", "verdict")
+	for _, chk := range c.Checks {
+		verdict := "pass"
+		switch {
+		case !chk.Gated:
+			verdict = "info"
+		case !chk.Pass:
+			verdict = "FAIL"
+		}
+		tol := "-"
+		if chk.Gated {
+			tol = fmt.Sprintf("%.3f", chk.Tolerance)
+		}
+		fmt.Fprintf(w, "  %-44s %12.4g %12.4g %9.4f %9s  %s\n",
+			chk.Name, chk.Sim, chk.Real, chk.Delta, tol, verdict)
+		if chk.Note != "" {
+			fmt.Fprintf(w, "      note: %s\n", chk.Note)
+		}
+	}
+	if len(c.Sim.Hops) > 0 || len(c.Real.Hops) > 0 {
+		fmt.Fprintf(w, "  per-hop mean wait (informational; sim=virtual ns, real=wall ns):\n")
+		writeHops(w, "sim", c.Sim.Hops)
+		writeHops(w, "real", c.Real.Hops)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func writeHops(w io.Writer, plane string, hops []HopWait) {
+	for _, h := range hops {
+		fmt.Fprintf(w, "    %-4s %-32s visits %8d  mean wait %10.1f us\n",
+			plane, h.Name, h.Visits, h.MeanWaitUS)
+	}
+}

@@ -1,0 +1,66 @@
+package xcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testComparison(pass bool) *Comparison {
+	sc := Scenario{Name: "t"}.withDefaults()
+	sim := &PlaneResult{Plane: "sim", LegitSent: 100, LegitDelivered: 100,
+		Hops: []HopWait{{Name: "L->R", Visits: 100, MeanWaitUS: 12.5}}}
+	real := &PlaneResult{Plane: "real", LegitSent: 100, LegitDelivered: 100,
+		Hops: []HopWait{{Name: "a->b", Visits: 99, MeanWaitUS: 40.1}}}
+	if !pass {
+		real.LegitDelivered = 10
+	}
+	return Compare(sc, sim, real)
+}
+
+func TestReportVerdicts(t *testing.T) {
+	r := NewReport([]*Comparison{testComparison(true)})
+	if !r.Pass {
+		t.Fatal("all-pass comparisons should pass the report")
+	}
+	r = NewReport([]*Comparison{testComparison(true), testComparison(false)})
+	if r.Pass {
+		t.Fatal("one failing comparison should fail the report")
+	}
+}
+
+func TestReportWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewReport([]*Comparison{testComparison(false)})
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"scenario t", "FAIL", "delivered_fraction", "wait_cdf_gap",
+		"overall: FAIL", "per-hop mean wait", "L->R", "a->b",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewReport([]*Comparison{testComparison(true)})
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not parse back: %v", err)
+	}
+	if !back.Pass || len(back.Comparisons) != 1 {
+		t.Errorf("round trip lost content: %+v", back)
+	}
+	if back.Comparisons[0].Scenario.Name != "t" {
+		t.Errorf("scenario lost: %+v", back.Comparisons[0].Scenario)
+	}
+}

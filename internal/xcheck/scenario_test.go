@@ -1,0 +1,128 @@
+package xcheck
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestScenarioDefaults(t *testing.T) {
+	s := Scenario{Name: "d"}.withDefaults()
+	if s.Users != 10 || s.MsgBytes != 512 || s.MsgIntervalMS != 50 {
+		t.Errorf("stream defaults: %+v", s)
+	}
+	if s.LinkBps != 10_000_000 || s.DurationMS != 3000 || s.DrainMS != 500 {
+		t.Errorf("link/schedule defaults: %+v", s)
+	}
+	if s.WaitFloorBucket != 18 || s.WaitShiftBuckets != 1 {
+		t.Errorf("wait comparison defaults: floor %d shift %d", s.WaitFloorBucket, s.WaitShiftBuckets)
+	}
+	if s.GrantKB != 64 || s.GrantTSec != 10 {
+		t.Errorf("grant defaults: %+v", s)
+	}
+
+	// -1 requests exact alignment (shift allowance 0).
+	s = Scenario{Name: "d", WaitShiftBuckets: -1}.withDefaults()
+	if s.WaitShiftBuckets != 0 {
+		t.Errorf("WaitShiftBuckets -1 should clamp to 0, got %d", s.WaitShiftBuckets)
+	}
+}
+
+func TestToleranceResolution(t *testing.T) {
+	s := Scenario{Name: "t"}.withDefaults()
+	if tol, ok := s.tolerance("drop_rate"); !ok || tol != DefaultTolerances["drop_rate"] {
+		t.Errorf("default drop_rate: %v %v", tol, ok)
+	}
+	if _, ok := s.tolerance("metric:tva_flowcache_entries"); ok {
+		t.Error("undeclared metric tolerance should be informational")
+	}
+	s.Tolerances = map[string]float64{"drop_rate": 0.5, "metric:tva_flowcache_entries": 0.1}
+	if tol, _ := s.tolerance("drop_rate"); tol != 0.5 {
+		t.Errorf("override drop_rate: %v", tol)
+	}
+	if tol, ok := s.tolerance("metric:tva_flowcache_entries"); !ok || tol != 0.1 {
+		t.Errorf("declared metric tolerance: %v %v", tol, ok)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	for _, name := range []string{"baseline", "flood"} {
+		s, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("builtin %q missing", name)
+		}
+		if s.Name != name || s.Seed == 0 {
+			t.Errorf("builtin %q malformed: %+v", name, s)
+		}
+	}
+	if _, ok := Builtin("nope"); ok {
+		t.Error("unknown builtin resolved")
+	}
+}
+
+func TestLoadScenarioRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := Scenario{
+		Name: "rt", Users: 4, Attackers: 2, AttackRateBps: 2_000_000,
+		DurationMS: 1500, Seed: 7,
+		Tolerances: map[string]float64{"wait_cdf_gap": 0.5},
+	}
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "rt.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || got.Users != 4 || got.Attackers != 2 || got.Seed != 7 {
+		t.Errorf("round trip: %+v", got)
+	}
+	if got.Tolerances["wait_cdf_gap"] != 0.5 {
+		t.Errorf("tolerances lost: %+v", got.Tolerances)
+	}
+
+	// A nameless spec is rejected.
+	anon := filepath.Join(dir, "anon.json")
+	if err := os.WriteFile(anon, []byte(`{"users": 3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadScenario(anon); err == nil {
+		t.Error("nameless scenario accepted")
+	}
+	if _, err := LoadScenario(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestRunScenarioQuick cross-validates a scaled-down baseline end to
+// end: both planes run for real (the overlay side binds loopback UDP
+// sockets), so it is skipped in -short mode.
+func TestRunScenarioQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a wall-clock overlay deployment")
+	}
+	c, err := RunScenario(Scenario{
+		Name: "quick", Users: 3, DurationMS: 1000, DrainMS: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Pass {
+		t.Errorf("quick baseline diverged:")
+		for _, chk := range c.Checks {
+			if chk.Gated && !chk.Pass {
+				t.Errorf("  %s: sim %v real %v delta %v > tol %v",
+					chk.Name, chk.Sim, chk.Real, chk.Delta, chk.Tolerance)
+			}
+		}
+	}
+	if c.Sim.LegitSent == 0 || c.Real.LegitSent == 0 {
+		t.Errorf("no traffic: sim %d real %d", c.Sim.LegitSent, c.Real.LegitSent)
+	}
+}

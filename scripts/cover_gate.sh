@@ -1,0 +1,35 @@
+#!/bin/sh
+# cover-gate: enforce the repo-total statement coverage floor.
+#
+# Reads a go coverage profile (default cover.out, override as $1),
+# extracts the total from `go tool cover -func`, surfaces it — in the
+# GitHub job summary when $GITHUB_STEP_SUMMARY is set — and exits
+# non-zero when it is below $COVER_FLOOR percent (default 70).
+#
+# Run via `make cover` (which writes the profile first).
+set -eu
+
+floor=${COVER_FLOOR:-70}
+profile=${1:-cover.out}
+
+[ -f "$profile" ] || {
+	echo "cover-gate: no coverage profile at $profile (run 'make cover')" >&2
+	exit 1
+}
+
+total=$(go tool cover -func="$profile" | awk 'END { sub(/%$/, "", $NF); print $NF }')
+echo "cover-gate: total statement coverage ${total}% (floor ${floor}%)"
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+	{
+		echo "### Coverage"
+		echo ""
+		echo "Total statement coverage: **${total}%** (floor: ${floor}%)"
+	} >>"$GITHUB_STEP_SUMMARY"
+fi
+
+ok=$(awk -v t="$total" -v f="$floor" 'BEGIN { print (t + 0 >= f + 0) ? "yes" : "no" }')
+if [ "$ok" != yes ]; then
+	echo "cover-gate: coverage ${total}% is below the ${floor}% floor" >&2
+	exit 1
+fi

@@ -47,8 +47,30 @@ for _ in $(seq 1 50); do
 	sleep 0.1
 done
 [ -n "$url" ] || { echo "metrics-smoke: no metrics URL in router log" >&2; exit 1; }
-# Let the sampler tick at least twice so the :rate series exist.
-sleep 0.5
+
+# Poll the endpoint until the full required series set (including the
+# :rate series that only exist once the sampler has ticked twice)
+# scrapes cleanly, bounded at ~5s — no fixed sleep, so the script is
+# as fast as the router and never flakes on a slow runner.
+echo "# metrics-smoke: polling $url until the overlay series set scrapes"
+ready=""
+for _ in $(seq 1 50); do
+	if "$dir/tvatop" -once -require-set overlay "$url" >/dev/null 2>&1; then
+		ready=1
+		break
+	fi
+	kill -0 "$router_pid" 2>/dev/null || {
+		echo "metrics-smoke: tvarouter died while polling:" >&2
+		cat "$dir/router.log" >&2
+		exit 1
+	}
+	sleep 0.1
+done
+[ -n "$ready" ] || {
+	echo "metrics-smoke: /metrics never satisfied the overlay series set; last scrape:" >&2
+	"$dir/tvatop" -once -require-set overlay "$url" >&2 || true
+	exit 1
+}
 
 echo "# metrics-smoke: scraping $url with tvatop -once"
 # -require-set resolves to internal/metrics.OverlaySeries (plus the

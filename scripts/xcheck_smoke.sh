@@ -1,0 +1,31 @@
+#!/bin/sh
+# xcheck-smoke: the sim-vs-real agreement gate.
+#
+# Runs the two canonical cross-validation scenarios (legit-only
+# baseline, legacy flood) on both data planes — the discrete-event
+# simulator and an in-process loopback overlay deployment — and fails
+# if any gated divergence check exceeds its declared tolerance. The
+# JSON divergence report lands at $XCHECK_REPORT (default
+# xcheck_report.json in the working directory) whether or not the gate
+# passes, so CI can upload it as an artifact either way.
+#
+# Run via `make xcheck`.
+set -eu
+
+report=${XCHECK_REPORT:-xcheck_report.json}
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+
+echo "# xcheck-smoke: building tvaxcheck"
+go build -o "$dir/tvaxcheck" ./cmd/tvaxcheck
+
+echo "# xcheck-smoke: cross-validating scenarios: baseline flood"
+status=0
+"$dir/tvaxcheck" -o "$report" baseline flood || status=$?
+
+echo "# xcheck-smoke: divergence report written to $report"
+if [ "$status" -ne 0 ]; then
+	echo "xcheck-smoke: planes diverged beyond tolerance (see report)" >&2
+	exit "$status"
+fi
+echo "xcheck-smoke: ok"
