@@ -47,10 +47,11 @@ bench:
 
 # bench-guard fails if any Table 1 row allocates more per packet than
 # the committed baseline — the zero-allocation forwarding path must
-# survive telemetry and whatever comes after it. The PR 6 baseline
-# pins every row at 0 allocs/op.
+# survive telemetry and whatever comes after it. The PR 10 baseline
+# pins every row at 0 allocs/op with per-sender flow accounting
+# (heavy-hitter table + count-min sketch) attached to the bench router.
 bench-guard:
-	go run ./cmd/tvabench -guard BENCH_pr6.json
+	go run ./cmd/tvabench -guard BENCH_pr10.json
 
 # bench-batch measures the batched data path end to end over loopback
 # sockets and fails unless batch=32 still forwards at >=2x the legacy

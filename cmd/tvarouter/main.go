@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"expvar"
 	"flag"
@@ -31,6 +32,7 @@ import (
 
 	"tva/internal/capability"
 	"tva/internal/core"
+	"tva/internal/flowstats"
 	"tva/internal/metrics"
 	"tva/internal/overlay"
 	"tva/internal/packet"
@@ -136,8 +138,10 @@ func main() {
 		}
 	}()
 
-	// /metrics on the default mux too, so -pprof alone also exposes it.
+	// /metrics (and the per-sender /flows JSON) on the default mux too,
+	// so -pprof alone also exposes them.
 	http.Handle("/metrics", metrics.Handler(m.Registry))
+	http.Handle("/flows", flowsHandler(r))
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -147,6 +151,7 @@ func main() {
 		listeners = append(listeners, ln)
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.Handler(m.Registry))
+		mux.Handle("/flows", flowsHandler(r))
 		bg.Add(1)
 		go func() {
 			defer bg.Done()
@@ -156,7 +161,7 @@ func main() {
 			}
 		}()
 		// The resolved address (not the flag) so :0 works in scripts.
-		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Printf("metrics on http://%s/metrics (per-sender flows at /flows)\n", ln.Addr())
 	}
 
 	if *debugAddr != "" {
@@ -207,6 +212,54 @@ func main() {
 		ln.Close()
 	}
 	bg.Wait()
+}
+
+// flowRow is one /flows table entry: a tracked sender's aggregates at
+// this router. err bounds the space-saving overcount on bytes (true
+// count is within [bytes-err, bytes]).
+type flowRow struct {
+	Src       string `json:"src"`
+	Path      uint16 `json:"path,omitempty"` // non-zero: request traffic keyed by path-id
+	Bytes     uint64 `json:"bytes"`
+	Err       uint64 `json:"err,omitempty"`
+	Pkts      uint64 `json:"pkts"`
+	Drops     uint64 `json:"drops,omitempty"`
+	Demotions uint64 `json:"demotions,omitempty"`
+}
+
+// flowsHandler serves the per-sender heavy-hitter table as JSON. Each
+// request takes its own FlowSnapshot (stateless — no shared window
+// state with the metrics ticker), so the fairness pair here is
+// cumulative over the tracked senders' total bytes, while the
+// registry's fairness gauges are per metrics window.
+func flowsHandler(r *overlay.Router) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		rows, total := r.FlowSnapshot()
+		bytes := make([]uint64, len(rows))
+		out := make([]flowRow, len(rows))
+		for i, s := range rows {
+			bytes[i] = s.Bytes
+			out[i] = flowRow{
+				Src:       s.Key.Src().String(),
+				Path:      uint16(s.Key.Path()),
+				Bytes:     s.Bytes,
+				Err:       s.Err,
+				Pkts:      s.Pkts,
+				Drops:     s.Drops,
+				Demotions: s.Demotions,
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"tracked":      len(rows),
+			"total_bytes":  total,
+			"jain":         flowstats.JainIndex(bytes),
+			"maxmin_ratio": flowstats.MaxMinRatio(bytes),
+			"flows":        out,
+		})
+	})
 }
 
 // isClosed reports the http.Serve error produced by closing its

@@ -44,6 +44,13 @@
 //
 //	tvasim -fault loss    -loss-rates 0,0.05,0.1,0.2 -duration 30
 //	tvasim -fault restart -restart-times 10,15,20 -duration 30
+//
+// With -fairness, tvasim sweeps the legitimate-sender count instead of
+// the attacker count and reports how evenly the survivors shared the
+// bottleneck — Jain's index and the best/worst goodput ratio per run
+// (Fig. 11-style fairness vs. sender population, EXPERIMENTS.md):
+//
+//	tvasim -fairness -schemes tva,internet -users 10,20,50 -duration 30
 package main
 
 import (
@@ -55,6 +62,7 @@ import (
 	"strings"
 
 	"tva/internal/exp"
+	"tva/internal/flowstats"
 	"tva/internal/telemetry"
 	"tva/internal/trace"
 	"tva/internal/tvatime"
@@ -81,6 +89,8 @@ func main() {
 	traceSpans := flag.Int("trace-spans", 0, "flight-recorder capacity in spans (0 = default with -tracefile, off otherwise)")
 	stormPkts := flag.Int("storm-pkts", 1000, "drop-storm threshold (bottleneck drops per 100ms window) that triggers an automatic flight-recorder dump; 0 disables")
 	faultMode := flag.String("fault", "", "recovery experiment: 'loss' (bottleneck loss sweep) or 'restart' (router restart sweep)")
+	fairness := flag.Bool("fairness", false, "sweep legitimate-sender counts (-users) instead of attacker counts and report per-run fairness")
+	usersFlag := flag.String("users", "10,20,50,100", "legitimate-sender counts for -fairness")
 	lossRatesFlag := flag.String("loss-rates", "0,0.05,0.1,0.2", "loss probabilities for -fault loss")
 	restartTimesFlag := flag.String("restart-times", "10,20,30", "restart times in seconds for -fault restart")
 	batch := flag.Int("batch", 1, "transmit burst width for the event-driven core (results are burst-invariant; >1 collapses per-packet events for speed)")
@@ -104,6 +114,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		return
+	}
+
+	if *fairness {
+		userCounts, err := parseInts(*usersFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fairnessSweep(schemes, userCounts, counts, dur, *seed, *workers)
 		return
 	}
 
@@ -206,6 +226,9 @@ func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime
 		fig, scheme, cfg.NumAttackers, dur.Seconds())
 	fmt.Printf("completion=%.3f avg-xfer=%.3fs utilization=%.3f goodput=%d bytes\n",
 		res.CompletionFraction(), res.AvgTransferTime(), res.BottleneckUtilization, tel.GoodputBytes)
+	fmt.Printf("fairness: jain=%.4f max/min=%.2f over %d users\n",
+		res.FairnessJain, res.MaxMinRatio, tel.Fairness.N())
+	printTopFlows(res.Flows)
 
 	fmt.Println("bottleneck drops by reason:")
 	for i := 0; i < telemetry.NumDropReasons; i++ {
@@ -313,6 +336,32 @@ func instrumentedRun(fig string, schemes []exp.Scheme, counts []int, dur tvatime
 		tel.Trace.WriteText(os.Stdout)
 	}
 	return nil
+}
+
+// printTopFlows prints the bottleneck's heavy-hitter table, largest
+// first. The samples arrive sorted from Run (bytes descending, key
+// ascending), so two same-seed runs print byte-identical tables.
+func printTopFlows(flows []flowstats.Sample) {
+	if len(flows) == 0 {
+		return
+	}
+	shown := flows
+	if len(shown) > 10 {
+		shown = shown[:10]
+	}
+	fmt.Printf("top %d of %d tracked senders at the bottleneck:\n", len(shown), len(flows))
+	fmt.Printf("  %-20s %14s %10s %10s %10s %10s\n",
+		"sender", "bytes", "±err", "pkts", "drops", "demoted")
+	for _, s := range shown {
+		name := s.Key.Src().String()
+		if p := s.Key.Path(); p != 0 {
+			// Request traffic is held accountable by path identifier,
+			// not its (spoofable) source address.
+			name = fmt.Sprintf("path:%d", p)
+		}
+		fmt.Printf("  %-20s %14d %10d %10d %10d %10d\n",
+			name, s.Bytes, s.Err, s.Pkts, s.Drops, s.Demotions)
+	}
 }
 
 // writeTraceDump writes the flight recorder's retained spans to path.
@@ -451,6 +500,44 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+// resultCols is the one shared per-run column schema: every sweep
+// table (the figure sweeps and -fairness) draws its header and row
+// cells from this list, so a new column lands in every table at once
+// instead of drifting between hand-maintained Printf strings.
+type resultCol struct {
+	head string
+	wid  int
+	cell func(*exp.Result) string
+}
+
+var resultCols = []resultCol{
+	{"completion", 12, func(r *exp.Result) string { return fmt.Sprintf("%.3f", r.CompletionFraction()) }},
+	{"xfer-time(s)", 14, func(r *exp.Result) string { return fmt.Sprintf("%.3f", r.AvgTransferTime()) }},
+	{"jain", 8, func(r *exp.Result) string { return fmt.Sprintf("%.4f", r.FairnessJain) }},
+	{"max/min", 10, func(r *exp.Result) string { return fmt.Sprintf("%.2f", r.MaxMinRatio) }},
+	{"drops", 12, func(r *exp.Result) string { return strconv.FormatUint(r.BottleneckDrops, 10) }},
+	{"host-drops", 12, func(r *exp.Result) string { return strconv.FormatUint(r.Telemetry.HostEgressDrops, 10) }},
+}
+
+// printResultHeader prints the x-axis column header followed by the
+// shared schema's headers.
+func printResultHeader(xHead string) {
+	fmt.Printf("%-10s %10s", "scheme", xHead)
+	for _, c := range resultCols {
+		fmt.Printf(" %*s", c.wid, c.head)
+	}
+	fmt.Println()
+}
+
+// printResultRow prints one run under printResultHeader's layout.
+func printResultRow(scheme exp.Scheme, x int, res *exp.Result) {
+	fmt.Printf("%-10s %10d", scheme, x)
+	for _, c := range resultCols {
+		fmt.Printf(" %*s", c.wid, c.cell(res))
+	}
+	fmt.Println()
+}
+
 func sweepFigure(title string, attack exp.Attack, schemes []exp.Scheme, counts []int, dur tvatime.Duration, seed int64, workers int) {
 	cfgs := make([]exp.Config, 0, len(schemes)*len(counts))
 	for _, scheme := range schemes {
@@ -468,16 +555,12 @@ func sweepFigure(title string, attack exp.Attack, schemes []exp.Scheme, counts [
 	results := exp.RunMany(cfgs, workers)
 
 	fmt.Printf("# %s\n", title)
-	fmt.Printf("%-10s %10s %12s %14s %12s %12s\n",
-		"scheme", "attackers", "completion", "xfer-time(s)", "drops", "host-drops")
+	printResultHeader("attackers")
 	i := 0
 	for _, scheme := range schemes {
 		for _, k := range counts {
-			res := results[i]
+			printResultRow(scheme, k, results[i])
 			i++
-			fmt.Printf("%-10s %10d %12.3f %14.3f %12d %12d\n",
-				scheme, k, res.CompletionFraction(), res.AvgTransferTime(),
-				res.BottleneckDrops, res.Telemetry.HostEgressDrops)
 		}
 		fmt.Println()
 	}
@@ -489,6 +572,46 @@ func sweepFigure(title string, attack exp.Attack, schemes []exp.Scheme, counts [
 		agg.Merge(&res.Telemetry.SchedDrops)
 	}
 	fmt.Println(topDrops(&agg))
+}
+
+// fairnessSweep varies the legitimate-sender population under a fixed
+// legacy flood (the largest -attackers count) and reports the shared
+// schema's columns per point — the jain/max-min pair is the payload
+// (fairness vs. sender count, EXPERIMENTS.md).
+func fairnessSweep(schemes []exp.Scheme, userCounts, attackerCounts []int, dur tvatime.Duration, seed int64, workers int) {
+	attackers := 0
+	for _, k := range attackerCounts {
+		if k > attackers {
+			attackers = k
+		}
+	}
+	cfgs := make([]exp.Config, 0, len(schemes)*len(userCounts))
+	for _, scheme := range schemes {
+		for _, n := range userCounts {
+			cfgs = append(cfgs, exp.Config{
+				Scheme:       scheme,
+				Attack:       exp.AttackLegacyFlood,
+				NumUsers:     n,
+				NumAttackers: attackers,
+				Duration:     dur,
+				Seed:         seed,
+				TxBatch:      txBatch,
+			})
+		}
+	}
+	results := exp.RunMany(cfgs, workers)
+
+	fmt.Printf("# fairness vs. sender count: legacy flood, %d attackers, %.0fs, seed %d\n",
+		attackers, dur.Seconds(), seed)
+	printResultHeader("users")
+	i := 0
+	for _, scheme := range schemes {
+		for _, n := range userCounts {
+			printResultRow(scheme, n, results[i])
+			i++
+		}
+		fmt.Println()
+	}
 }
 
 // figure11 prints per-2s-bucket maxima of transfer time for the

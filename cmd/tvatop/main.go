@@ -2,7 +2,10 @@
 // one or more /metrics endpoints (tvarouter's exposition, or a file
 // written by tvasim -prom) and renders per-interface throughput,
 // queue occupancy and waits, request-channel token levels, the
-// drop-reason mix, burst fill, and the attack-onset health state.
+// drop-reason mix, burst fill, the attack-onset health state, and the
+// per-sender flow view (top talkers, top dropped, the fairness gauge,
+// and a per-tenant rollup) when the target's sibling /flows endpoint
+// answers.
 //
 //	tvatop http://127.0.0.1:9100/metrics
 //	tvatop -interval 2s http://r1:9100/metrics http://r2:9100/metrics
@@ -21,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -79,6 +83,7 @@ func main() {
 				code = 1
 			}
 			render(os.Stdout, url, sc)
+			renderFlows(os.Stdout, client, url)
 		}
 		os.Exit(code)
 	}
@@ -100,6 +105,7 @@ func main() {
 				continue
 			}
 			render(&b, url, sc)
+			renderFlows(&b, client, url)
 		}
 		fmt.Fprintf(&b, "-- %s  every %s  q to quit (ctrl-c)\n",
 			time.Now().Format("15:04:05"), interval)
@@ -228,7 +234,173 @@ func render(w io.Writer, url string, sc *metrics.Scrape) {
 			fmt.Fprintf(w, "  %s %.2f\n", strings.TrimPrefix(strings.TrimSuffix(name, "_burst_fill"), "tva_")+" burst fill", value(sc, name))
 		}
 	}
+
+	// Per-sender accounting aggregates and the fairness gauge (per
+	// metrics window; 1.0 = every sender equal).
+	if sc.Has(metrics.NameFlowTrackedSenders) {
+		fmt.Fprintf(w, "  flows tracked %3.0f  bytes %.0f  top-share %5.1f%%\n",
+			value(sc, metrics.NameFlowTrackedSenders),
+			value(sc, metrics.NameFlowBytes),
+			100*value(sc, metrics.NameFlowTopShare))
+		jain := value(sc, metrics.NameFlowFairnessJain)
+		fmt.Fprintf(w, "  fairness jain %6.4f %s  max/min %.2f\n",
+			jain, bar(jain, 20), value(sc, metrics.NameFlowMaxMinRatio))
+	}
 	fmt.Fprintln(w)
+}
+
+// flowRow mirrors one entry of tvarouter's /flows JSON table.
+type flowRow struct {
+	Src       string `json:"src"`
+	Path      uint16 `json:"path"`
+	Bytes     uint64 `json:"bytes"`
+	Err       uint64 `json:"err"`
+	Pkts      uint64 `json:"pkts"`
+	Drops     uint64 `json:"drops"`
+	Demotions uint64 `json:"demotions"`
+}
+
+// flowsDoc mirrors the /flows JSON document.
+type flowsDoc struct {
+	Tracked     int       `json:"tracked"`
+	TotalBytes  uint64    `json:"total_bytes"`
+	Jain        float64   `json:"jain"`
+	MaxMinRatio float64   `json:"maxmin_ratio"`
+	Flows       []flowRow `json:"flows"`
+}
+
+// flowsURL derives the sibling /flows endpoint from a /metrics target
+// ("" when the target is not a /metrics URL — e.g. a tvasim -prom
+// file served some other way).
+func flowsURL(metricsURL string) string {
+	base, ok := strings.CutSuffix(metricsURL, "/metrics")
+	if !ok {
+		return ""
+	}
+	return base + "/flows"
+}
+
+// renderFlows fetches the target's sibling /flows endpoint and prints
+// the per-sender view: top talkers, top dropped, and a per-tenant /16
+// rollup. A target without the endpoint is skipped silently — the
+// flows view is additive, never a scrape failure. The server returns
+// rows pre-sorted (bytes descending, key ascending), so with -once the
+// block is a deterministic function of the response.
+func renderFlows(w io.Writer, client *http.Client, metricsURL string) {
+	url := flowsURL(metricsURL)
+	if url == "" {
+		return
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var doc flowsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil || len(doc.Flows) == 0 {
+		return
+	}
+
+	fmt.Fprintf(w, "  -- flows (%d tracked, %d bytes, jain %.4f, max/min %.2f)\n",
+		doc.Tracked, doc.TotalBytes, doc.Jain, doc.MaxMinRatio)
+	fmt.Fprintf(w, "  top talkers:\n")
+	for i, f := range doc.Flows {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(w, "    %-20s %12d B %8d pkts %8d drops %6d demoted\n",
+			senderName(f), f.Bytes, f.Pkts, f.Drops, f.Demotions)
+	}
+
+	// Top dropped: re-rank by drops (desc, then bytes desc, then the
+	// server's row order) — the senders the schedulers squeezed hardest.
+	dropped := append([]flowRow(nil), doc.Flows...)
+	sort.SliceStable(dropped, func(i, j int) bool {
+		if dropped[i].Drops != dropped[j].Drops {
+			return dropped[i].Drops > dropped[j].Drops
+		}
+		return dropped[i].Bytes > dropped[j].Bytes
+	})
+	shown := 0
+	for _, f := range dropped {
+		if f.Drops == 0 || shown >= 5 {
+			break
+		}
+		if shown == 0 {
+			fmt.Fprintf(w, "  top dropped:\n")
+		}
+		fmt.Fprintf(w, "    %-20s %12d drops %10d B\n", senderName(f), f.Drops, f.Bytes)
+		shown++
+	}
+
+	// Per-tenant rollup: aggregate by /16 address prefix (path-keyed
+	// request rows pool under one "requests" tenant — their source
+	// addresses are spoofable, so a prefix would be meaningless).
+	type tenant struct {
+		name               string
+		bytes, pkts, drops uint64
+	}
+	byName := map[string]*tenant{}
+	var order []string
+	for _, f := range doc.Flows {
+		name := "requests"
+		if f.Path == 0 {
+			if a, b, ok := prefix16(f.Src); ok {
+				name = a + "." + b + ".0.0/16"
+			} else {
+				name = f.Src
+			}
+		}
+		t, ok := byName[name]
+		if !ok {
+			t = &tenant{name: name}
+			byName[name] = t
+			order = append(order, name)
+		}
+		t.bytes += f.Bytes
+		t.pkts += f.Pkts
+		t.drops += f.Drops
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := byName[order[i]], byName[order[j]]
+		if a.bytes != b.bytes {
+			return a.bytes > b.bytes
+		}
+		return a.name < b.name
+	})
+	fmt.Fprintf(w, "  tenants (/16):\n")
+	for _, name := range order {
+		t := byName[name]
+		share := 0.0
+		if doc.TotalBytes > 0 {
+			share = float64(t.bytes) / float64(doc.TotalBytes)
+		}
+		fmt.Fprintf(w, "    %-20s %12d B %8d pkts %8d drops  %s\n",
+			t.name, t.bytes, t.pkts, t.drops, bar(share, 20))
+	}
+	fmt.Fprintln(w)
+}
+
+// senderName renders a flow row's accounting identity: the source
+// address, or the stamped path identifier for request traffic.
+func senderName(f flowRow) string {
+	if f.Path != 0 {
+		return fmt.Sprintf("path:%d", f.Path)
+	}
+	return f.Src
+}
+
+// prefix16 splits a dotted-quad source into its first two octets.
+func prefix16(src string) (a, b string, ok bool) {
+	parts := strings.SplitN(src, ".", 3)
+	if len(parts) < 3 {
+		return "", "", false
+	}
+	return parts[0], parts[1], true
 }
 
 // rate renders name's synthetic :rate series, or "-" before the

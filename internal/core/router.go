@@ -8,6 +8,7 @@ package core
 import (
 	"tva/internal/capability"
 	"tva/internal/flowcache"
+	"tva/internal/flowstats"
 	"tva/internal/packet"
 	"tva/internal/pathid"
 	"tva/internal/telemetry"
@@ -84,6 +85,12 @@ type Router struct {
 	// wait estimate in microseconds for hop stamps on WantHops requests
 	// (the overlay wires its per-port EWMA here). Nil stamps 0.
 	HopWait func() uint32
+	// Flows, when non-nil, is the bounded-memory per-sender accounting
+	// unit this engine feeds: every processed packet is observed (after
+	// request stamping, so requests carry the path-id they are keyed
+	// by) and every demotion attributed. Same nil-disabled single
+	// branch as Tracer; the record path is allocation-free.
+	Flows *flowstats.Collector
 }
 
 // NewRouter builds a router from cfg.
@@ -232,6 +239,7 @@ func (r *Router) process1(pkt *packet.Packet, inIface int, now tvatime.Time, bc 
 	if h == nil {
 		r.Stats.Legacy++
 		pkt.Class = packet.ClassLegacy
+		r.Flows.Observe(pkt)
 		r.trace(pkt, now)
 		r.verdict(pkt, now)
 		return pkt.Class
@@ -241,6 +249,7 @@ func (r *Router) process1(pkt *packet.Packet, inIface int, now tvatime.Time, bc 
 		// (§3.8); it is not re-validated downstream.
 		r.Stats.Legacy++
 		pkt.Class = packet.ClassLegacy
+		r.Flows.Observe(pkt)
 		r.trace(pkt, now)
 		r.verdict(pkt, now)
 		return pkt.Class
@@ -264,6 +273,7 @@ func (r *Router) process1(pkt *packet.Packet, inIface int, now tvatime.Time, bc 
 			h.DemoteRouter = r.cfg.ID
 			r.Stats.Demoted++
 			r.Demotions.Inc(reason)
+			r.Flows.Demote(pkt)
 			pkt.Class = packet.ClassLegacy
 			if r.Spans != nil && pkt.TraceID != 0 {
 				sp := r.span(pkt, now, trace.EdgeDemote)
@@ -273,6 +283,7 @@ func (r *Router) process1(pkt *packet.Packet, inIface int, now tvatime.Time, bc 
 		}
 	}
 	pkt.Size += h.WireSize() - before
+	r.Flows.Observe(pkt)
 	r.trace(pkt, now)
 	r.verdict(pkt, now)
 	return pkt.Class

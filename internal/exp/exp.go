@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"tva/internal/capability"
+	"tva/internal/flowstats"
 	"tva/internal/tvatime"
 )
 
@@ -289,6 +290,19 @@ type Result struct {
 	// BottleneckDrops counts forward bottleneck enqueue drops.
 	BottleneckDrops uint64
 
+	// FairnessJain and MaxMinRatio summarize how evenly the legitimate
+	// users shared goodput over the whole run: Jain's index
+	// (Σx)²/(n·Σx²) of per-user delivered bytes, and the best-served /
+	// worst-served ratio (worst clamped to 1 byte).
+	FairnessJain float64
+	MaxMinRatio  float64
+
+	// Flows is the bottleneck's end-of-run heavy-hitter table, sorted
+	// by bytes descending (per-sender bytes, packets, drops and
+	// demotions at the congested point; Err bounds the space-saving
+	// overcount).
+	Flows []flowstats.Sample
+
 	// Telemetry carries the run's observability output: per-reason
 	// drop counters, demotion causes, delay histograms, and (when
 	// configured) the gauge time series and packet trace.
@@ -355,11 +369,14 @@ func (r *Result) Series() (startSec, durSec []float64) {
 	return startSec, durSec
 }
 
-// SweepPoint is one x-axis point of Figs. 8–10.
+// SweepPoint is one x-axis point of Figs. 8–10, plus the fairness pair
+// (Fig. 11-style: how evenly the survivors shared the bottleneck).
 type SweepPoint struct {
 	Attackers          int
 	CompletionFraction float64
 	AvgTransferTime    float64
+	FairnessJain       float64
+	MaxMinRatio        float64
 }
 
 // Sweep runs the config at each attacker count and collects the two
@@ -374,6 +391,8 @@ func Sweep(base Config, counts []int) []SweepPoint {
 			Attackers:          n,
 			CompletionFraction: res.CompletionFraction(),
 			AvgTransferTime:    res.AvgTransferTime(),
+			FairnessJain:       res.FairnessJain,
+			MaxMinRatio:        res.MaxMinRatio,
 		})
 	}
 	return points

@@ -65,6 +65,8 @@ func SweepParallel(base Config, counts []int, workers int) []SweepPoint {
 			Attackers:          counts[i],
 			CompletionFraction: res.CompletionFraction(),
 			AvgTransferTime:    res.AvgTransferTime(),
+			FairnessJain:       res.FairnessJain,
+			MaxMinRatio:        res.MaxMinRatio,
 		}
 	}
 	return points

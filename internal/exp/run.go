@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"tva/internal/core"
+	"tva/internal/flowstats"
 	"tva/internal/netsim"
 	"tva/internal/packet"
 	"tva/internal/pathid"
@@ -195,7 +196,13 @@ func Run(cfg Config) *Result {
 	sim.TxBatch = cfg.TxBatch
 	b := &builder{cfg: cfg, sim: sim}
 
-	tel := RunTelemetry{}
+	// Per-sender accounting is always on: O(K) memory, allocation-free
+	// recording, and it never changes a packet's fate — so instrumented
+	// and plain runs stay packet-for-packet identical.
+	tel := RunTelemetry{
+		Flows:    flowstats.New(flowstats.DefaultTopK, flowstats.DefaultSketchWidth),
+		Fairness: flowstats.NewFairness(cfg.NumUsers),
+	}
 	var tracer *telemetry.RingTracer
 	if cfg.TraceEvents > 0 {
 		tracer = telemetry.NewRingTracer(cfg.TraceEvents)
@@ -224,6 +231,21 @@ func Run(cfg Config) *Result {
 	left.SetDefault(lr)
 	right.SetDefault(rl)
 	b.attachPushback(prLeft, lr)
+
+	// Per-sender accounting watches the congested point: the left
+	// router's engine (TVA observes/demotes there) and the forward
+	// bottleneck's scheduler (all schemes drop there).
+	if len(b.tvaRouters) > 0 {
+		b.tvaRouters[0].Flows = tel.Flows
+	}
+	switch q := lr.Sched.(type) {
+	case *sched.TVA:
+		q.Flows = tel.Flows
+	case *sched.SIFF:
+		q.Flows = tel.Flows
+	case *sched.DropTail:
+		q.Flows = tel.Flows
+	}
 
 	lr.QueueDelay = &tel.QueueDelay
 	if tracer != nil {
@@ -337,8 +359,12 @@ func Run(cfg Config) *Result {
 		Transfers:             transfers,
 		BottleneckUtilization: lr.Utilization(cfg.Duration),
 		BottleneckDrops:       lr.Stats.DroppedPkts,
+		FairnessJain:          flowstats.JainIndex(tel.Fairness.Totals()),
+		MaxMinRatio:           flowstats.MaxMinRatio(tel.Fairness.Totals()),
 		Telemetry:             tel,
 	}
+	res.Flows = tel.Flows.AppendSamples(nil)
+	flowstats.SortSamples(res.Flows)
 	return res
 }
 

@@ -14,9 +14,11 @@ import (
 
 	"tva/internal/capability"
 	"tva/internal/core"
+	"tva/internal/flowstats"
 	"tva/internal/metrics"
 	"tva/internal/netsim"
 	"tva/internal/packet"
+	"tva/internal/sched"
 	"tva/internal/trace"
 	"tva/internal/tvatime"
 )
@@ -179,7 +181,10 @@ func RunStream(scfg StreamConfig) *StreamResult {
 	sim := netsim.New(cfg.Seed + 1)
 	b := &builder{cfg: cfg, sim: sim}
 
-	tel := RunTelemetry{}
+	tel := RunTelemetry{
+		Flows:    flowstats.New(flowstats.DefaultTopK, flowstats.DefaultSketchWidth),
+		Fairness: flowstats.NewFairness(cfg.NumUsers),
+	}
 	if cfg.SpanCapacity > 0 {
 		rec := trace.NewRecorder(cfg.SpanCapacity)
 		sim.Spans = rec
@@ -194,6 +199,20 @@ func RunStream(scfg StreamConfig) *StreamResult {
 	left.SetDefault(lr)
 	right.SetDefault(rl)
 	lr.QueueDelay = &tel.QueueDelay
+
+	// Same accounting points as Run: the left engine and the forward
+	// bottleneck's scheduler.
+	if len(b.tvaRouters) > 0 {
+		b.tvaRouters[0].Flows = tel.Flows
+	}
+	switch q := lr.Sched.(type) {
+	case *sched.TVA:
+		q.Flows = tel.Flows
+	case *sched.SIFF:
+		q.Flows = tel.Flows
+	case *sched.DropTail:
+		q.Flows = tel.Flows
+	}
 
 	attachLeft := func(h *host) {
 		hi, li := netsim.Connect(h.node, left, cfg.AccessBps, cfg.LinkDelay,

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"tva/internal/flowstats"
 	"tva/internal/metrics"
 	"tva/internal/netsim"
 	"tva/internal/packet"
@@ -51,6 +52,20 @@ type RunTelemetry struct {
 	// transfer records to separate useful work).
 	GoodputBytes uint64
 
+	// Flows is the bottleneck's per-sender accounting unit: top-K
+	// bytes/pkts/drops/demotions plus the count-min traffic sketch,
+	// fed by the left router's capability engine and the bottleneck
+	// scheduler's drop sites. Always on (O(K) memory, allocation-free
+	// recording); snapshot via Result.Flows.
+	Flows *flowstats.Collector
+
+	// Fairness is the exact per-window fairness engine over the
+	// legitimate users (the simulator knows the population, so this is
+	// ground truth rather than the overlay's tracked-sender
+	// approximation). Rolled once per metrics window; whole-run
+	// indices land in Result.FairnessJain / Result.MaxMinRatio.
+	Fairness *flowstats.Fairness
+
 	// Sampler holds the virtual-time gauge series; nil unless
 	// Config.MetricsInterval > 0.
 	Sampler *telemetry.Sampler
@@ -85,8 +100,20 @@ type RunTelemetry struct {
 	DropStormAt tvatime.Time
 }
 
+// userIndex maps a legitimate user's address back to its index (the
+// inverse of UserAddr); any other address — attackers, the colluder —
+// returns -1, which the fairness engine ignores.
+func userIndex(addr packet.Addr) int {
+	a := uint32(addr) - 1
+	if a>>16 != 10<<8 { // not in 10.0.0.0/16
+		return -1
+	}
+	return int(a & 0xffff)
+}
+
 // instrumentDest wraps the destination host's handler to record
-// end-to-end latency, delivered bytes, and deliver-trace events.
+// end-to-end latency, delivered bytes, per-sender fairness
+// accounting, and deliver-trace events.
 func (b *builder) instrumentDest(dest *host, tel *RunTelemetry, tracer *telemetry.RingTracer) {
 	sim := b.sim
 	inner := dest.node.Handler
@@ -95,6 +122,7 @@ func (b *builder) instrumentDest(dest *host, tel *RunTelemetry, tracer *telemetr
 			tel.Delivery.Observe(sim.Now().Sub(pkt.SentAt))
 		}
 		tel.GoodputBytes += uint64(pkt.Size)
+		tel.Fairness.Account(userIndex(pkt.Src), uint64(pkt.Size))
 		if tracer != nil {
 			tracer.Record(telemetry.Event{
 				Time:  sim.Now(),
@@ -333,6 +361,37 @@ func (b *builder) startMetrics(tel *RunTelemetry, lr *netsim.Iface, completion f
 		"Forward-bottleneck output-queue wait quantiles in nanoseconds.",
 		sk, 0.5, 0.99))
 
+	// Per-sender flow accounting and the streaming fairness indices.
+	// The gauges read fields the tick closure below refreshes once per
+	// window, so registry sampling itself stays trivially cheap and
+	// the fairness window roll happens exactly once per interval.
+	flows := tel.Flows
+	fair := tel.Fairness
+	fg := &struct{ tracked, bytes, topShare, jain, ratio float64 }{jain: 1, ratio: 1}
+	rollFlows := func() {
+		fair.Roll()
+		fg.tracked = float64(flows.Tracked())
+		fg.bytes = float64(flows.TotalBytes())
+		fg.topShare = flows.TopShare()
+		fg.jain = fair.Jain()
+		fg.ratio = fair.MaxMinRatio()
+	}
+	mustReg(reg.Gauge(metrics.NameFlowTrackedSenders, nil,
+		"Senders live in the bottleneck's top-K flow table.",
+		func() float64 { return fg.tracked }))
+	mustReg(reg.Counter(metrics.NameFlowBytes, nil,
+		"Bytes observed by the bottleneck's per-sender accounting.",
+		func() float64 { return fg.bytes }))
+	mustReg(reg.Gauge(metrics.NameFlowTopShare, nil,
+		"Top tracked sender's share of all observed bytes.",
+		func() float64 { return fg.topShare }))
+	mustReg(reg.Gauge(metrics.NameFlowFairnessJain, nil,
+		"Jain's fairness index over legit-sender goodput, last window.",
+		func() float64 { return fg.jain }))
+	mustReg(reg.Gauge(metrics.NameFlowMaxMinRatio, nil,
+		"Best/worst legit-sender goodput ratio, last window.",
+		func() float64 { return fg.ratio }))
+
 	// The live SLO and the health series.
 	mustReg(reg.Gauge(metrics.NameLegitCompletion, nil,
 		"Fraction of decided legitimate transfers that completed.",
@@ -363,6 +422,7 @@ func (b *builder) startMetrics(tel *RunTelemetry, lr *netsim.Iface, completion f
 			return // end-of-run sample landing on a periodic tick
 		}
 		lastTick = now
+		rollFlows()
 		det.ObserveTick(now, dropsTotal(), pressure())
 		reg.Tick(now)
 	}

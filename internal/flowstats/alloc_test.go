@@ -1,0 +1,53 @@
+package flowstats
+
+import (
+	"testing"
+
+	"tva/internal/packet"
+)
+
+// TestFlowStatsNoAllocs is the dynamic twin of the //tva:hotpath
+// annotations: every record-path entry point must be allocation-free
+// in steady state, including the full-table eviction path (the worst
+// case: index delete + insert + heap sift per packet).
+func TestFlowStatsNoAllocs(t *testing.T) {
+	c := New(DefaultTopK, DefaultSketchWidth)
+
+	hdr := &packet.CapHdr{
+		Kind:    packet.KindRequest,
+		Request: packet.RequestHdr{PathIDs: []packet.PathID{3}},
+	}
+	pkts := make([]packet.Packet, 4*DefaultTopK)
+	for i := range pkts {
+		pkts[i] = packet.Packet{Src: packet.Addr(i + 1), Size: 1000}
+	}
+	pkts[0].Hdr = hdr // one request so the path-id keying runs too
+
+	// Warm past the fill phase so the loop below measures the
+	// steady-state mix: found-key updates plus evictions.
+	for i := range pkts {
+		c.Observe(&pkts[i])
+	}
+
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := &pkts[i%len(pkts)]
+		c.Observe(p)
+		c.Drop(p)
+		c.Demote(p)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("flowstats record path allocates %.1f allocs/op, want 0", allocs)
+	}
+
+	var nilC *Collector
+	allocs = testing.AllocsPerRun(100, func() {
+		nilC.Observe(&pkts[0])
+		nilC.Drop(&pkts[0])
+		nilC.Demote(&pkts[0])
+	})
+	if allocs != 0 {
+		t.Fatalf("nil collector no-ops allocate %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,182 @@
+package flowstats
+
+import "sort"
+
+// Fairness is the streaming fairness engine over a fixed legit-sender
+// population: the simulator accounts each delivered byte to its
+// sender's slot on the hot path (one bounds check, one add), and each
+// metrics window Roll folds the per-window deltas into Jain's fairness
+// index and a max/min goodput ratio.
+type Fairness struct {
+	cur   []uint64 // cumulative delivered bytes per sender
+	prev  []uint64 // cur as of the last Roll
+	jain  float64
+	ratio float64
+}
+
+// NewFairness builds an engine over n senders. Before any Roll both
+// indices report the ideal 1.
+func NewFairness(n int) *Fairness {
+	if n < 0 {
+		n = 0
+	}
+	return &Fairness{
+		cur:   make([]uint64, n),
+		prev:  make([]uint64, n),
+		jain:  1,
+		ratio: 1,
+	}
+}
+
+// Account adds delivered bytes to sender i; out-of-range senders (and
+// a nil engine) are ignored, so attacker traffic costs one branch.
+//
+//tva:hotpath
+func (f *Fairness) Account(i int, bytes uint64) {
+	if f == nil || i < 0 || i >= len(f.cur) {
+		return
+	}
+	f.cur[i] += bytes
+}
+
+// N returns the population size.
+func (f *Fairness) N() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.cur)
+}
+
+// Roll closes the current window: it computes Jain's index and the
+// max/min ratio over each sender's byte delta since the previous Roll,
+// then starts the next window. An all-idle window scores the ideal 1.
+// A nil engine is a no-op (its indices stay at the ideal 1).
+func (f *Fairness) Roll() {
+	if f == nil {
+		return
+	}
+	var sum, sumSq float64
+	min, max := ^uint64(0), uint64(0)
+	for i := range f.cur {
+		d := f.cur[i] - f.prev[i]
+		f.prev[i] = f.cur[i]
+		fd := float64(d)
+		sum += fd
+		sumSq += fd * fd
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if len(f.cur) == 0 || sum == 0 {
+		f.jain, f.ratio = 1, 1
+		return
+	}
+	f.jain = sum * sum / (float64(len(f.cur)) * sumSq)
+	if min == 0 {
+		// A starved sender makes the true ratio infinite; clamp the
+		// denominator to one byte so the gauge stays finite (and huge).
+		min = 1
+	}
+	f.ratio = float64(max) / float64(min)
+}
+
+// Jain returns the last window's Jain fairness index: 1 when every
+// sender got equal goodput, 1/n when one sender got everything.
+func (f *Fairness) Jain() float64 {
+	if f == nil {
+		return 1
+	}
+	return f.jain
+}
+
+// MaxMinRatio returns the last window's best/worst sender goodput
+// ratio (1 = perfectly fair).
+func (f *Fairness) MaxMinRatio() float64 {
+	if f == nil {
+		return 1
+	}
+	return f.ratio
+}
+
+// Totals returns the cumulative per-sender byte counts (the engine
+// retains ownership; callers must not mutate).
+func (f *Fairness) Totals() []uint64 {
+	if f == nil {
+		return nil
+	}
+	return f.cur
+}
+
+// JainIndex computes Jain's fairness index (Σx)²/(n·Σx²) over x,
+// returning 1 for an empty or all-zero population.
+func JainIndex(x []uint64) float64 {
+	var sum, sumSq float64
+	for _, v := range x {
+		fv := float64(v)
+		sum += fv
+		sumSq += fv * fv
+	}
+	if len(x) == 0 || sum == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(x)) * sumSq)
+}
+
+// MaxMinRatio computes the max/min ratio over x with the same one-byte
+// clamp as Fairness.Roll.
+func MaxMinRatio(x []uint64) float64 {
+	if len(x) == 0 {
+		return 1
+	}
+	min, max := ^uint64(0), uint64(0)
+	for _, v := range x {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return 1
+	}
+	if min == 0 {
+		min = 1
+	}
+	return float64(max) / float64(min)
+}
+
+// SampleFairness scores one overlay metrics window from merged top-K
+// snapshots: the population is the senders in cur, each weighted by
+// its byte delta against prev (clamped at zero — eviction churn can
+// shrink a re-entering sender's inherited counter). prev is rewritten
+// in place to cur's values, dropping departed keys, so consecutive
+// calls see consecutive windows. Unlike the simulator's exact engine
+// this sees only tracked senders; DESIGN.md §16 spells out the
+// difference.
+func SampleFairness(prev map[Key]uint64, cur []Sample) (jain, ratio float64) {
+	deltas := make([]uint64, len(cur))
+	seen := make(map[Key]struct{}, len(cur))
+	for i, s := range cur {
+		seen[s.Key] = struct{}{}
+		if p, ok := prev[s.Key]; ok && s.Bytes >= p {
+			deltas[i] = s.Bytes - p
+		} else if !ok {
+			deltas[i] = s.Bytes
+		}
+		prev[s.Key] = s.Bytes
+	}
+	for k := range prev {
+		if _, ok := seen[k]; !ok {
+			delete(prev, k)
+		}
+	}
+	// Deterministic regardless of map behaviour: deltas follow cur's
+	// (already sorted) order and the index math below is order-free
+	// anyway.
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i] < deltas[j] })
+	return JainIndex(deltas), MaxMinRatio(deltas)
+}

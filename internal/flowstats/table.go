@@ -1,0 +1,310 @@
+package flowstats
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// entry is one tracked sender. Bytes is the space-saving ranking
+// counter: on eviction the replacement inherits the evicted minimum
+// (so Bytes is an overestimate by at most Err); the auxiliary counters
+// restart from zero at takeover, since inheriting another sender's
+// drops would be pure noise.
+type entry struct {
+	key       Key
+	bytes     uint64
+	pkts      uint64
+	drops     uint64
+	demotions uint64
+	err       uint64
+}
+
+// Sample is one exported table entry (or one merged row). Err is the
+// space-saving overestimate bound on Bytes: zero for senders tracked
+// since their first packet, the evicted minimum otherwise.
+type Sample struct {
+	Key       Key
+	Bytes     uint64
+	Pkts      uint64
+	Drops     uint64
+	Demotions uint64
+	Err       uint64
+}
+
+// tableIndexFactor sizes the open-addressed index at 4 slots per
+// entry, keeping linear-probe chains short (load factor <= 1/4 after
+// rounding up to a power of two).
+const tableIndexFactor = 4
+
+// Table is a space-saving top-K heavy-hitter table: K preallocated
+// entries, an open-addressed key index (no Go map — the hot path must
+// not hash through runtime map code or allocate), and a min-heap over
+// the ranking counter so eviction of the current minimum is O(log K).
+type Table struct {
+	k       int
+	n       int
+	entries []entry
+	heap    []int32 // entry indices ordered by entries[i].bytes, min at root
+	pos     []int32 // entry index -> heap position
+	slots   []int32 // open-addressed index; entryIdx+1, 0 = empty
+	mask    uint32
+}
+
+// Init sizes the table for k tracked senders. It is the only method
+// that allocates.
+func (t *Table) Init(k int) {
+	if k < 1 {
+		k = 1
+	}
+	nslots := 1 << bits.Len(uint(k*tableIndexFactor-1))
+	t.k = k
+	t.n = 0
+	t.entries = make([]entry, k)
+	t.heap = make([]int32, k)
+	t.pos = make([]int32, k)
+	t.slots = make([]int32, nslots)
+	t.mask = uint32(nslots - 1)
+}
+
+// Len returns the number of live entries.
+func (t *Table) Len() int { return t.n }
+
+// K returns the table's capacity.
+func (t *Table) K() int { return t.k }
+
+// hashOf spreads a key over the slot space (multiply-shift with a
+// fixed odd constant; determinism across runs is part of the merge
+// contract).
+//
+//tva:hotpath
+func (t *Table) hashOf(k Key) uint32 {
+	return uint32((uint64(k)*0x9E3779B97F4A7C15)>>32) & t.mask
+}
+
+// find returns the entry index for key, or -1.
+//
+//tva:hotpath
+func (t *Table) find(k Key) int32 {
+	i := t.hashOf(k)
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if t.entries[s-1].key == k {
+			return s - 1
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insertSlot indexes entry idx under key k (k must be absent).
+//
+//tva:hotpath
+func (t *Table) insertSlot(k Key, idx int32) {
+	i := t.hashOf(k)
+	for t.slots[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = idx + 1
+}
+
+// removeKey unindexes k using backward-shift deletion, which keeps
+// probe chains gap-free without tombstones.
+//
+//tva:hotpath
+func (t *Table) removeKey(k Key) {
+	i := t.hashOf(k)
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			return
+		}
+		if t.entries[s-1].key == k {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		s := t.slots[j]
+		if s == 0 {
+			break
+		}
+		h := t.hashOf(t.entries[s-1].key)
+		// Slot j's occupant may fill the hole at i only if its home
+		// position is cyclically at or before i — i.e. i lies inside
+		// its probe chain.
+		if ((j - h) & t.mask) >= ((j - i) & t.mask) {
+			t.slots[i] = s
+			i = j
+		}
+	}
+	t.slots[i] = 0
+}
+
+// siftDown restores heap order downward from heap position p after
+// the ranking counter there grew.
+//
+//tva:hotpath
+func (t *Table) siftDown(p int32) {
+	h := t.heap
+	n := int32(t.n)
+	for {
+		l := 2*p + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && t.entries[h[r]].bytes < t.entries[h[l]].bytes {
+			m = r
+		}
+		if t.entries[h[m]].bytes >= t.entries[h[p]].bytes {
+			return
+		}
+		h[p], h[m] = h[m], h[p]
+		t.pos[h[p]] = p
+		t.pos[h[m]] = m
+		p = m
+	}
+}
+
+// heapPush appends entry idx (already in entries) at the heap's end
+// and sifts it up.
+//
+//tva:hotpath
+func (t *Table) heapPush(idx int32) {
+	h := t.heap
+	p := int32(t.n) - 1 // caller bumped t.n; new element goes last
+	h[p] = idx
+	t.pos[idx] = p
+	for p > 0 {
+		parent := (p - 1) / 2
+		if t.entries[h[parent]].bytes <= t.entries[h[p]].bytes {
+			return
+		}
+		h[p], h[parent] = h[parent], h[p]
+		t.pos[h[p]] = p
+		t.pos[h[parent]] = parent
+		p = parent
+	}
+}
+
+// touch accounts one event to key k: bytes/pkts on observation,
+// drops/demotions at loss sites. Space-saving semantics apply to the
+// byte counter: a new sender seen while the table is full replaces the
+// current minimum and inherits its byte count (recording the old
+// minimum as the entry's error bound). Zero-byte events (drops,
+// demotions) never evict — an untracked sender's losses are simply
+// not attributed rather than displacing a real heavy hitter.
+//
+//tva:hotpath
+func (t *Table) touch(k Key, bytes, pkts, drops, demotions uint64) {
+	if idx := t.find(k); idx >= 0 {
+		e := &t.entries[idx]
+		e.bytes += bytes
+		e.pkts += pkts
+		e.drops += drops
+		e.demotions += demotions
+		if bytes > 0 {
+			t.siftDown(t.pos[idx])
+		}
+		return
+	}
+	if t.n < t.k {
+		idx := int32(t.n)
+		t.n++
+		e := &t.entries[idx]
+		e.key = k
+		e.bytes = bytes
+		e.pkts = pkts
+		e.drops = drops
+		e.demotions = demotions
+		e.err = 0
+		t.insertSlot(k, idx)
+		t.heapPush(idx)
+		return
+	}
+	if bytes == 0 {
+		return
+	}
+	root := t.heap[0]
+	e := &t.entries[root]
+	t.removeKey(e.key)
+	e.err = e.bytes
+	e.key = k
+	e.bytes += bytes
+	e.pkts = pkts
+	e.drops = drops
+	e.demotions = demotions
+	t.insertSlot(k, root)
+	t.siftDown(0)
+}
+
+// MaxBytes returns the largest tracked byte count (0 when empty).
+func (t *Table) MaxBytes() uint64 {
+	var max uint64
+	for i := 0; i < t.n; i++ {
+		if b := t.entries[i].bytes; b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// AppendSamples appends the live entries to dst, unsorted.
+func (t *Table) AppendSamples(dst []Sample) []Sample {
+	for i := 0; i < t.n; i++ {
+		e := &t.entries[i]
+		dst = append(dst, Sample{
+			Key: e.key, Bytes: e.bytes, Pkts: e.pkts,
+			Drops: e.drops, Demotions: e.demotions, Err: e.err,
+		})
+	}
+	return dst
+}
+
+// SortSamples orders samples for display and export: bytes descending,
+// key ascending on ties — a total order, so equal inputs always yield
+// byte-identical output.
+func SortSamples(s []Sample) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Bytes != s[j].Bytes {
+			return s[i].Bytes > s[j].Bytes
+		}
+		return s[i].Key < s[j].Key
+	})
+}
+
+// MergeSamples combines snapshots from several collectors (shards,
+// ports, engines) into one deterministic ranking: counters are summed
+// per key, then rows are ordered by SortSamples and truncated to k
+// (k <= 0 keeps every row). The result depends only on the multiset
+// of input rows, never on shard iteration order.
+func MergeSamples(in []Sample, k int) []Sample {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].Key < in[j].Key })
+	out := in[:0]
+	cur := in[0]
+	for _, s := range in[1:] {
+		if s.Key == cur.Key {
+			cur.Bytes += s.Bytes
+			cur.Pkts += s.Pkts
+			cur.Drops += s.Drops
+			cur.Demotions += s.Demotions
+			cur.Err += s.Err
+			continue
+		}
+		out = append(out, cur)
+		cur = s
+	}
+	out = append(out, cur)
+	SortSamples(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -23,6 +23,11 @@ func registerAll(r *metrics.Registry, fn func() float64) {
 	_ = r.Gauge(metrics.NameTokenBucket, nil, "", fn)
 	_ = r.Counter(metrics.NamePortSent, nil, "", fn)
 	_ = r.Counter(metrics.NamePortDropped, nil, "", fn)
+	_ = r.Gauge(metrics.NameFlowTrackedSenders, nil, "", fn)
+	_ = r.Counter(metrics.NameFlowBytes, nil, "", fn)
+	_ = r.Gauge(metrics.NameFlowTopShare, nil, "", fn)
+	_ = r.Gauge(metrics.NameFlowFairnessJain, nil, "", fn)
+	_ = r.Gauge(metrics.NameFlowMaxMinRatio, nil, "", fn)
 	_ = r.Gauge(metrics.NameHealthState, nil, "", fn)
 	_ = r.Counter(metrics.NameHealthTransitions, nil, "", fn)
 	_ = r.Counter(metrics.NameGoodputBytes, nil, "", fn) // undeclared in OverlaySeries

@@ -15,6 +15,11 @@ func registerShared(r *metrics.Registry, fn func() float64) {
 	_ = r.Counter(metrics.NameSchedDrops, nil, "", fn)
 	_ = r.Counter(metrics.NameDemotions, nil, "", fn)
 	_ = r.Gauge(metrics.NameTxBurstFill, nil, "", fn)
+	_ = r.Gauge(metrics.NameFlowTrackedSenders, nil, "", fn)
+	_ = r.Counter(metrics.NameFlowBytes, nil, "", fn)
+	_ = r.Gauge(metrics.NameFlowTopShare, nil, "", fn)
+	_ = r.Gauge(metrics.NameFlowFairnessJain, nil, "", fn)
+	_ = r.Gauge(metrics.NameFlowMaxMinRatio, nil, "", fn)
 	_ = r.Gauge(metrics.NameHealthState, nil, "", fn)
 	_ = r.Counter(metrics.NameHealthTransitions, nil, "", fn)
 

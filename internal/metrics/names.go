@@ -51,6 +51,18 @@ const (
 	NameBenchForwarded = "tva_bench_forwarded_total"
 	NameBenchDemoted   = "tva_bench_demoted_total"
 	NameBenchWireBytes = "tva_bench_wire_bytes"
+
+	// Per-sender flow accounting (internal/flowstats, both planes):
+	// bounded-memory top-K aggregates plus the streaming fairness
+	// indices over the legit-sender population. Per-sender detail is
+	// deliberately not a labelled series (the registry seals its set
+	// at the first tick; an open-ended sender population cannot be) —
+	// tvarouter serves it as JSON on /flows instead.
+	NameFlowTrackedSenders = "tva_flow_tracked_senders"
+	NameFlowBytes          = "tva_flow_bytes_total"
+	NameFlowTopShare       = "tva_flow_top_share"
+	NameFlowFairnessJain   = "tva_flow_fairness_jain"
+	NameFlowMaxMinRatio    = "tva_flow_goodput_maxmin_ratio"
 )
 
 // SharedSeries is the sim-vs-real contract: every name here must be
@@ -69,6 +81,11 @@ var SharedSeries = []string{
 	NameQueueWait,
 	NameHealthState,
 	NameHealthTransitions,
+	NameFlowTrackedSenders,
+	NameFlowBytes,
+	NameFlowTopShare,
+	NameFlowFairnessJain,
+	NameFlowMaxMinRatio,
 }
 
 // OverlaySeries is the full series set a tvarouter /metrics scrape
@@ -93,6 +110,11 @@ var OverlaySeries = []string{
 	NamePortDropped,
 	NameHealthState,
 	NameHealthTransitions,
+	NameFlowTrackedSenders,
+	NameFlowBytes,
+	NameFlowTopShare,
+	NameFlowFairnessJain,
+	NameFlowMaxMinRatio,
 }
 
 // SimSeries is the full series set an instrumented simulator run
@@ -111,6 +133,11 @@ var SimSeries = []string{
 	NameLegitCompletion,
 	NameHealthState,
 	NameHealthTransitions,
+	NameFlowTrackedSenders,
+	NameFlowBytes,
+	NameFlowTopShare,
+	NameFlowFairnessJain,
+	NameFlowMaxMinRatio,
 }
 
 // BenchSeries is the registry set overlay.BenchMetrics attaches to the

@@ -360,6 +360,26 @@ func csvQuote(s string) string {
 	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
+// columnIDs returns the export column schema shared by every tabular
+// writer: t_sec, one column per series ID (registration order), then
+// one <id>:rate column per counter series. WriteCSV and WriteJSON
+// both render exactly this list (they used to duplicate it, which is
+// how format drift starts), and the row loops below emit values in
+// the same order. Callers hold r.mu.
+func (r *Registry) columnIDs() []string {
+	cols := make([]string, 0, 1+2*len(r.series))
+	cols = append(cols, "t_sec")
+	for _, s := range r.series {
+		cols = append(cols, s.id)
+	}
+	for _, s := range r.series {
+		if s.kind == KindCounter {
+			cols = append(cols, s.id+":rate")
+		}
+	}
+	return cols
+}
+
 // WriteCSV writes the retained window as CSV: a t_sec column, one
 // column per series (cumulative value for counters, level for
 // gauges), and one trailing rate column per counter series, named
@@ -368,16 +388,11 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	bw := &errWriter{w: w}
-	bw.WriteString("t_sec")
-	for _, s := range r.series {
-		bw.WriteString(",")
-		bw.WriteString(csvQuote(s.id))
-	}
-	for _, s := range r.series {
-		if s.kind == KindCounter {
+	for i, id := range r.columnIDs() {
+		if i > 0 {
 			bw.WriteString(",")
-			bw.WriteString(csvQuote(s.id + ":rate"))
 		}
+		bw.WriteString(csvQuote(id))
 	}
 	bw.WriteString("\n")
 	n := len(r.series)
@@ -406,16 +421,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	bw := &errWriter{w: w}
-	bw.WriteString(`{"columns":["t_sec"`)
-	for _, s := range r.series {
-		bw.WriteString(",")
-		bw.WriteString(strconv.Quote(s.id))
-	}
-	for _, s := range r.series {
-		if s.kind == KindCounter {
+	bw.WriteString(`{"columns":[`)
+	for i, id := range r.columnIDs() {
+		if i > 0 {
 			bw.WriteString(",")
-			bw.WriteString(strconv.Quote(s.id + ":rate"))
 		}
+		bw.WriteString(strconv.Quote(id))
 	}
 	bw.WriteString(`],"rows":[`)
 	n := len(r.series)

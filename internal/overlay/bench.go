@@ -14,6 +14,7 @@ import (
 
 	"tva/internal/capability"
 	"tva/internal/core"
+	"tva/internal/flowstats"
 	"tva/internal/metrics"
 	"tva/internal/packet"
 	"tva/internal/tvatime"
@@ -229,12 +230,15 @@ func (w *Workload) Len() int { return len(w.pkts) }
 const BenchTickEvery = 1024
 
 // BenchMetrics threads the streaming observability layer through a
-// Table 1 loop: every forwarded packet lands two counter hits and one
-// sketch observation, and a live registry is sampled on a virtual
-// clock every BenchTickEvery packets. The bench guard runs Table 1
-// with this harness attached, so its 0 allocs/op rows prove the
-// metrics instruments ride the forwarding path for free — the dynamic
-// twin of the //tva:hotpath annotations on Record/Set/Observe.
+// Table 1 loop: every forwarded packet lands two counter hits, one
+// sketch observation, and a per-sender flowstats touch (heavy-hitter
+// table + count-min sketch, attached to the workload router exactly
+// as the exp harness and overlay attach theirs), and a live registry
+// is sampled on a virtual clock every BenchTickEvery packets. The
+// bench guard runs Table 1 with this harness attached, so its
+// 0 allocs/op rows prove the metrics instruments ride the forwarding
+// path for free — the dynamic twin of the //tva:hotpath annotations
+// on Record/Set/Observe.
 type BenchMetrics struct {
 	Reg *metrics.Registry
 
@@ -263,6 +267,17 @@ func NewBenchMetrics(w *Workload) *BenchMetrics {
 	must(m.Reg.Gauge(metrics.NameFlowCacheEntries, nil,
 		"Live flow-cache entries at the bench router.",
 		func() float64 { return float64(cache.Len()) }))
+	// Per-sender accounting on the measured path: the router observes
+	// every processed packet into this collector, so Table 1 numbers
+	// include the flowstats cost (and the alloc guard proves it's 0).
+	flows := flowstats.New(flowstats.DefaultTopK, flowstats.DefaultSketchWidth)
+	w.Router.Flows = flows
+	must(m.Reg.Gauge(metrics.NameFlowTrackedSenders, nil,
+		"Heavy-hitter table entries at the bench router.",
+		func() float64 { return float64(flows.Tracked()) }))
+	must(m.Reg.Counter(metrics.NameFlowBytes, nil,
+		"Total bytes observed by the bench router's flow accounting.",
+		func() float64 { return float64(flows.TotalBytes()) }))
 	m.Reg.Tick(m.now)
 	return m
 }

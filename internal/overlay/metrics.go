@@ -2,7 +2,9 @@ package overlay
 
 import (
 	"sort"
+	"sync"
 
+	"tva/internal/flowstats"
 	"tva/internal/metrics"
 	"tva/internal/sched"
 	"tva/internal/telemetry"
@@ -20,6 +22,19 @@ type RouterMetrics struct {
 	Registry *metrics.Registry
 	Health   *metrics.Detector
 	router   *Router
+
+	// Flow-series state: Tick recomputes these once per interval from a
+	// FlowSnapshot (the gauge closures must stay cheap — a registry
+	// sample may not walk every owner's table), and any goroutine may
+	// read them through the registry, hence the mutex. flowPrev carries
+	// each tracked sender's last-window byte count for SampleFairness.
+	flowMu       sync.Mutex
+	flowPrev     map[flowstats.Key]uint64
+	flowTracked  float64
+	flowBytes    float64
+	flowTopShare float64
+	flowJain     float64
+	flowRatio    float64
 }
 
 // Metrics builds the router's registry: forwarding totals, per-reason
@@ -113,6 +128,34 @@ func (r *Router) Metrics(window int, health metrics.DetectorConfig) *RouterMetri
 			func() float64 { return float64(p.Dropped.Load()) }))
 	}
 
+	// Per-sender flow accounting (shared-name series; per-sender detail
+	// is the /flows JSON endpoint — an open-ended sender population
+	// cannot be a labelled series once the registry seals).
+	m.flowPrev = make(map[flowstats.Key]uint64)
+	m.flowJain, m.flowRatio = 1, 1
+	flowField := func(f *float64) func() float64 {
+		return func() float64 {
+			m.flowMu.Lock()
+			defer m.flowMu.Unlock()
+			return *f
+		}
+	}
+	mustReg(reg.Gauge(metrics.NameFlowTrackedSenders, nil,
+		"Heavy-hitter table entries after the cross-owner merge (at most top-K).",
+		flowField(&m.flowTracked)))
+	mustReg(reg.Counter(metrics.NameFlowBytes, nil,
+		"Total bytes observed by the per-sender accounting engines.",
+		flowField(&m.flowBytes)))
+	mustReg(reg.Gauge(metrics.NameFlowTopShare, nil,
+		"Top tracked sender's fraction of all observed bytes.",
+		flowField(&m.flowTopShare)))
+	mustReg(reg.Gauge(metrics.NameFlowFairnessJain, nil,
+		"Jain's fairness index over tracked senders' per-window byte deltas.",
+		flowField(&m.flowJain)))
+	mustReg(reg.Gauge(metrics.NameFlowMaxMinRatio, nil,
+		"Best/worst tracked-sender goodput ratio per window (1 = fair).",
+		flowField(&m.flowRatio)))
+
 	// Health (shared-name series).
 	mustReg(reg.Gauge(metrics.NameHealthState, nil,
 		"Attack-onset health: 0=healthy 1=degraded 2=under-attack 3=recovered.",
@@ -127,6 +170,17 @@ func (r *Router) Metrics(window int, health metrics.DetectorConfig) *RouterMetri
 // request pressure, then samples every series. Call it from a single
 // goroutine (the detector is not concurrency-safe; the registry is).
 func (m *RouterMetrics) Tick(now tvatime.Time) {
+	rows, total := m.router.FlowSnapshot()
+	m.flowMu.Lock()
+	m.flowTracked = float64(len(rows))
+	m.flowBytes = float64(total)
+	m.flowTopShare = 0
+	if total > 0 && len(rows) > 0 {
+		m.flowTopShare = float64(rows[0].Bytes) / float64(total)
+	}
+	m.flowJain, m.flowRatio = flowstats.SampleFairness(m.flowPrev, rows)
+	m.flowMu.Unlock()
+
 	d := m.router.SchedDrops()
 	drops := d.Total()
 	pressure := float64(m.router.RequestBacklog())

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tva/internal/core"
+	"tva/internal/flowstats"
 	"tva/internal/metrics"
 	"tva/internal/packet"
 	"tva/internal/pathid"
@@ -223,12 +224,17 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	// with this router's current queue-wait estimate, which travels back
 	// to the sender in return information (tvaping shows it per hop).
 	r.core.HopWait = r.waitEWMA.Load
+	// Per-sender accounting: one collector per state owner, guarded by
+	// that owner's existing lock (coreMu here, shardWorker.mu per shard,
+	// port.mu per port scheduler); FlowSnapshot merges them.
+	r.core.Flows = flowstats.New(flowstats.DefaultTopK, flowstats.DefaultSketchWidth)
 	if cfg.Shards > 1 && cfg.Batch > 1 {
 		sub := cfg.Core
 		sub.Authority = r.core.Authority()
 		r.shards = newShardEngine(cfg.Shards, func() *core.Router {
 			w := core.NewRouter(sub)
 			w.HopWait = r.waitEWMA.Load
+			w.Flows = flowstats.New(flowstats.DefaultTopK, flowstats.DefaultSketchWidth)
 			return w
 		})
 	}
@@ -310,6 +316,45 @@ func (r *Router) FlowCacheEntries() int {
 		w.mu.Unlock()
 	}
 	return n
+}
+
+// FlowSnapshot merges every owner's per-sender table — the capability
+// engine (or its shard replicas) and each port scheduler's drop
+// accounting — into one top-K view, plus the total bytes the engines
+// observed. MergeSamples keys the fold and fixes the final order
+// (bytes descending, key ascending), so the result is deterministic
+// regardless of shard count, port map iteration, or merge order: the
+// same traffic always yields the same rows.
+func (r *Router) FlowSnapshot() ([]flowstats.Sample, uint64) {
+	var samples []flowstats.Sample
+	var total uint64
+	if r.shards != nil {
+		for _, w := range r.shards.workers {
+			w.mu.Lock()
+			samples = w.core.Flows.AppendSamples(samples)
+			total += w.core.Flows.TotalBytes()
+			w.mu.Unlock()
+		}
+	} else {
+		r.coreMu.Lock()
+		samples = r.core.Flows.AppendSamples(samples)
+		total = r.core.Flows.TotalBytes()
+		r.coreMu.Unlock()
+	}
+	r.mu.Lock()
+	ports := make([]*port, 0, len(r.ports))
+	for _, p := range r.ports {
+		ports = append(ports, p)
+	}
+	r.mu.Unlock()
+	for _, p := range ports {
+		p.mu.Lock()
+		if tva, ok := p.q.(*sched.TVA); ok {
+			samples = tva.Flows.AppendSamples(samples)
+		}
+		p.mu.Unlock()
+	}
+	return flowstats.MergeSamples(samples, flowstats.DefaultTopK), total
 }
 
 // QueueWaitMicros returns the router's EWMA output-queue wait in
@@ -418,6 +463,11 @@ func (r *Router) portFor(to *net.UDPAddr) *port {
 		return p
 	}
 	p := &port{to: to, bps: r.cfg.LinkBps, q: r.linkSched(), hop: trace.NoHop}
+	if tva, ok := p.q.(*sched.TVA); ok {
+		// Drop attribution feeds the same per-sender tables; the
+		// collector is owned by this port's scheduler under p.mu.
+		tva.Flows = flowstats.New(flowstats.DefaultTopK, flowstats.DefaultSketchWidth)
+	}
 	p.cond = sync.NewCond(&p.mu)
 	if r.cfg.Spans != nil {
 		p.spans = r.cfg.Spans

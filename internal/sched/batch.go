@@ -8,6 +8,7 @@
 package sched
 
 import (
+	"tva/internal/flowstats"
 	"tva/internal/packet"
 	"tva/internal/telemetry"
 	"tva/internal/tvatime"
@@ -25,12 +26,15 @@ type batchDrops struct {
 
 // initBatchDrops builds the persistent drop closure: classify decides
 // the reason, *lastDrop records it (the schedulers' LastDrop
-// contract), the burst tally accumulates it, and the caller's onDrop
-// takes ownership of the refused packet.
-func (b *batchDrops) initBatchDrops(lastDrop *telemetry.DropReason, classify func(*packet.Packet) telemetry.DropReason) {
+// contract), the burst tally accumulates it, per-sender accounting
+// attributes it (flows points at the owner's Flows field so a
+// collector attached after construction is still seen), and the
+// caller's onDrop takes ownership of the refused packet.
+func (b *batchDrops) initBatchDrops(lastDrop *telemetry.DropReason, flows **flowstats.Collector, classify func(*packet.Packet) telemetry.DropReason) {
 	b.dropFn = func(pkt *packet.Packet) {
 		*lastDrop = classify(pkt)
 		b.burst.Inc(*lastDrop)
+		(*flows).Drop(pkt)
 		b.batchOnDrop(pkt)
 	}
 }

@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"tva/internal/flowstats"
 	"tva/internal/fq"
 	"tva/internal/packet"
 	"tva/internal/telemetry"
@@ -76,6 +77,9 @@ type DropTail struct {
 	// was, since a shared FIFO has no classes of its own).
 	Drops    telemetry.DropCounters
 	lastDrop telemetry.DropReason
+	// Flows, when non-nil, receives per-sender drop attribution (may be
+	// attached after construction; nil costs one branch per drop).
+	Flows *flowstats.Collector
 
 	batchDrops
 }
@@ -83,7 +87,7 @@ type DropTail struct {
 // NewDropTail returns a FIFO scheduler with the given byte capacity.
 func NewDropTail(capBytes int) *DropTail {
 	s := &DropTail{q: fq.NewFIFO(capBytes)}
-	s.initBatchDrops(&s.lastDrop, queueDropReason)
+	s.initBatchDrops(&s.lastDrop, &s.Flows, queueDropReason)
 	return s
 }
 
@@ -91,7 +95,7 @@ func NewDropTail(capBytes int) *DropTail {
 // matching ns-2's drop-tail queues (uniform per-packet loss).
 func NewDropTailPkts(capPkts int) *DropTail {
 	s := &DropTail{q: fq.NewFIFOCount(capPkts)}
-	s.initBatchDrops(&s.lastDrop, queueDropReason)
+	s.initBatchDrops(&s.lastDrop, &s.Flows, queueDropReason)
 	return s
 }
 
@@ -102,6 +106,7 @@ func (s *DropTail) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
 	if !s.q.Enqueue(pkt) {
 		s.lastDrop = queueDropReason(pkt)
 		s.Drops.Inc(s.lastDrop)
+		s.Flows.Drop(pkt)
 		return false
 	}
 	return true
@@ -206,6 +211,9 @@ type TVA struct {
 	// Drops attributes every dropped packet to a reason.
 	Drops    telemetry.DropCounters
 	lastDrop telemetry.DropReason
+	// Flows, when non-nil, receives per-sender drop attribution (may be
+	// attached after construction; nil costs one branch per drop).
+	Flows *flowstats.Collector
 
 	batchDrops
 	// Per-class drop closures for the fq bulk paths, built once here
@@ -227,7 +235,7 @@ func NewTVA(cfg TVAConfig) *TVA {
 		// links too harshly while staying near the configured rate.
 		bucket: fq.NewTokenBucket(reqRate, 3*cfg.Quantum),
 	}
-	s.initBatchDrops(&s.lastDrop, func(pkt *packet.Packet) telemetry.DropReason {
+	s.initBatchDrops(&s.lastDrop, &s.Flows, func(pkt *packet.Packet) telemetry.DropReason {
 		if pkt.Hdr != nil && pkt.Hdr.Demoted {
 			return telemetry.DropDemoted
 		}
@@ -242,6 +250,7 @@ func NewTVA(cfg TVAConfig) *TVA {
 			s.lastDrop = telemetry.DropRequestQueueFull
 		}
 		s.burst.Inc(s.lastDrop)
+		s.Flows.Drop(p)
 		s.batchOnDrop(p)
 	}
 	s.regDropFn = func(p *packet.Packet, res fq.EnqueueResult) {
@@ -251,6 +260,7 @@ func NewTVA(cfg TVAConfig) *TVA {
 			s.lastDrop = telemetry.DropRegularQueueFull
 		}
 		s.burst.Inc(s.lastDrop)
+		s.Flows.Drop(p)
 		s.batchOnDrop(p)
 	}
 	return s
@@ -281,27 +291,27 @@ func (s *TVA) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
 	case packet.ClassRequest:
 		if s.request.Enqueue(requestKey(pkt), pkt) != fq.EnqOK {
 			if s.holdover != nil {
-				s.drop(telemetry.DropRequestRateLimited)
+				s.drop(pkt, telemetry.DropRequestRateLimited)
 			} else {
-				s.drop(telemetry.DropRequestQueueFull)
+				s.drop(pkt, telemetry.DropRequestQueueFull)
 			}
 			return false
 		}
 	case packet.ClassRegular:
 		switch s.regular.Enqueue(uint64(pkt.Dst), pkt) {
 		case fq.EnqDropQueueFull:
-			s.drop(telemetry.DropRegularQueueFull)
+			s.drop(pkt, telemetry.DropRegularQueueFull)
 			return false
 		case fq.EnqDropNoQueue:
-			s.drop(telemetry.DropFlowCachePressure)
+			s.drop(pkt, telemetry.DropFlowCachePressure)
 			return false
 		}
 	default:
 		if !s.legacy.Enqueue(pkt) {
 			if pkt.Hdr != nil && pkt.Hdr.Demoted {
-				s.drop(telemetry.DropDemoted)
+				s.drop(pkt, telemetry.DropDemoted)
 			} else {
-				s.drop(telemetry.DropLegacyQueueFull)
+				s.drop(pkt, telemetry.DropLegacyQueueFull)
 			}
 			return false
 		}
@@ -309,9 +319,11 @@ func (s *TVA) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
 	return true
 }
 
-func (s *TVA) drop(r telemetry.DropReason) {
+//tva:hotpath
+func (s *TVA) drop(pkt *packet.Packet, r telemetry.DropReason) {
 	s.lastDrop = r
 	s.Drops.Inc(r)
+	s.Flows.Drop(pkt)
 }
 
 // Dequeue implements Scheduler: requests first (within their rate
@@ -408,6 +420,9 @@ type SIFF struct {
 	// Drops attributes every dropped packet to a reason.
 	Drops    telemetry.DropCounters
 	lastDrop telemetry.DropReason
+	// Flows, when non-nil, receives per-sender drop attribution (may be
+	// attached after construction; nil costs one branch per drop).
+	Flows *flowstats.Collector
 
 	batchDrops
 }
@@ -422,7 +437,7 @@ func NewSIFF(highPkts, lowPkts int) *SIFF {
 		lowPkts = 50
 	}
 	s := &SIFF{high: fq.NewFIFOCount(highPkts), low: fq.NewFIFOCount(lowPkts)}
-	s.initBatchDrops(&s.lastDrop, queueDropReason)
+	s.initBatchDrops(&s.lastDrop, &s.Flows, queueDropReason)
 	return s
 }
 
@@ -439,6 +454,7 @@ func (s *SIFF) Enqueue(pkt *packet.Packet, _ tvatime.Time) bool {
 	if !ok {
 		s.lastDrop = queueDropReason(pkt)
 		s.Drops.Inc(s.lastDrop)
+		s.Flows.Drop(pkt)
 	}
 	return ok
 }

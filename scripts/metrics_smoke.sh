@@ -37,7 +37,7 @@ router_pid=$!
 
 url=""
 for _ in $(seq 1 50); do
-	url=$(sed -n 's/^metrics on \(http:.*\/metrics\)$/\1/p' "$dir/router.log")
+	url=$(sed -n 's/^metrics on \(http:[^ ]*\/metrics\).*$/\1/p' "$dir/router.log")
 	[ -n "$url" ] && break
 	kill -0 "$router_pid" 2>/dev/null || {
 		echo "metrics-smoke: tvarouter died:" >&2
@@ -79,6 +79,31 @@ echo "# metrics-smoke: scraping $url with tvatop -once"
 # metricname analyzer keeps both sides honest.
 "$dir/tvatop" -once -require-set overlay "$url"
 
+echo "# metrics-smoke: requiring the per-sender flow series explicitly"
+# The flow series ride in OverlaySeries and so are already covered
+# above; requiring them by name keeps this check meaningful even if
+# the plane sets are ever reshuffled.
+"$dir/tvatop" -once \
+	-require tva_flow_tracked_senders,tva_flow_bytes_total,tva_flow_top_share,tva_flow_fairness_jain,tva_flow_goodput_maxmin_ratio \
+	"$url" >/dev/null
+
+echo "# metrics-smoke: checking the fairness gauge in the raw exposition"
+curl -sf "$url" >"$dir/exposition.prom"
+grep -q '^tva_flow_fairness_jain ' "$dir/exposition.prom" || {
+	echo "metrics-smoke: exposition is missing the fairness gauge:" >&2
+	grep '^tva_flow' "$dir/exposition.prom" >&2 || true
+	exit 1
+}
+
+echo "# metrics-smoke: checking the /flows JSON endpoint"
+flows_url="${url%/metrics}/flows"
+curl -sf "$flows_url" >"$dir/flows.json"
+grep -q '"tracked"' "$dir/flows.json" && grep -q '"jain"' "$dir/flows.json" || {
+	echo "metrics-smoke: $flows_url did not serve a flows document:" >&2
+	cat "$dir/flows.json" >&2
+	exit 1
+}
+
 kill "$router_pid" 2>/dev/null || true
 wait "$router_pid" 2>/dev/null || true
 router_pid=""
@@ -109,6 +134,10 @@ cmp "$dir/run1.csv" "$dir/run2.csv" || {
 }
 cmp "$dir/run1.prom" "$dir/run2.prom" || {
 	echo "metrics-smoke: exposition snapshots differ across same-seed runs" >&2
+	exit 1
+}
+grep -q '^tva_flow_fairness_jain ' "$dir/run1.prom" || {
+	echo "metrics-smoke: sim exposition is missing the fairness gauge" >&2
 	exit 1
 }
 echo "# metrics-smoke: attack onset detected deterministically:"
